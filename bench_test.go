@@ -1,0 +1,81 @@
+package deltacolor_test
+
+// One benchmark per experiment of DESIGN.md §4. Each iteration regenerates
+// the experiment's full table (in quick mode so -bench terminates in
+// minutes); `go run ./cmd/benchsuite` produces the full-scale tables that
+// EXPERIMENTS.md records. The benchmarks double as end-to-end smoke tests:
+// every runner panics on an invalid coloring.
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacolor"
+	"deltacolor/graph/gen"
+	"deltacolor/internal/exp"
+)
+
+func runExperiment(b *testing.B, f func(exp.Config) *exp.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := f(exp.Config{Quick: true, Seed: int64(i + 1)})
+		if len(t.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", t.ID)
+		}
+	}
+}
+
+func BenchmarkE1SmallDelta(b *testing.B)    { runExperiment(b, exp.E1SmallDelta) }
+func BenchmarkE2LargeDelta(b *testing.B)    { runExperiment(b, exp.E2LargeDelta) }
+func BenchmarkE3Deterministic(b *testing.B) { runExperiment(b, exp.E3Deterministic) }
+func BenchmarkE4Baseline(b *testing.B)      { runExperiment(b, exp.E4Baseline) }
+func BenchmarkE5Expansion(b *testing.B)     { runExperiment(b, exp.E5Expansion) }
+func BenchmarkE6Shattering(b *testing.B)    { runExperiment(b, exp.E6Shattering) }
+func BenchmarkE7Brooks(b *testing.B)        { runExperiment(b, exp.E7Brooks) }
+func BenchmarkE7Adversarial(b *testing.B)   { runExperiment(b, exp.E7Adversarial) }
+func BenchmarkE8NetworkDecomposition(b *testing.B) {
+	runExperiment(b, exp.E8NetDec)
+}
+func BenchmarkE9Structure(b *testing.B)  { runExperiment(b, exp.E9Structure) }
+func BenchmarkE10Ablations(b *testing.B) { runExperiment(b, exp.E10Ablations) }
+
+// Micro-benchmarks of the public API on a fixed workload, for profiling the
+// algorithms themselves rather than the experiment sweeps.
+
+func benchColor(b *testing.B, n, d int, alg deltacolor.Algorithm) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := gen.MustRandomRegular(rng, n, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := deltacolor.Color(g, deltacolor.Options{Algorithm: alg, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds <= 0 {
+			b.Fatal("no rounds charged")
+		}
+	}
+}
+
+func BenchmarkColorRandomizedN1024D4(b *testing.B) {
+	benchColor(b, 1024, 4, deltacolor.AlgRandomized)
+}
+
+func BenchmarkColorRandomizedN1024D8(b *testing.B) {
+	benchColor(b, 1024, 8, deltacolor.AlgRandomized)
+}
+
+func BenchmarkColorDeterministicN1024D4(b *testing.B) {
+	benchColor(b, 1024, 4, deltacolor.AlgDeterministic)
+}
+
+func BenchmarkColorBaselineN1024D4(b *testing.B) {
+	benchColor(b, 1024, 4, deltacolor.AlgBaseline)
+}
+
+func BenchmarkColorNetDecN1024D4(b *testing.B) {
+	benchColor(b, 1024, 4, deltacolor.AlgNetDec)
+}
+
+func BenchmarkE11Congest(b *testing.B) { runExperiment(b, exp.E11Congest) }

@@ -1,0 +1,82 @@
+// Command benchsuite runs the experiment suite E1–E10 (DESIGN.md §4) at
+// full scale and prints every table as markdown — the exact content
+// EXPERIMENTS.md records. Use -quick for a smoke-scale pass and -only to
+// select individual experiments.
+//
+//	go run ./cmd/benchsuite                  # full suite (minutes)
+//	go run ./cmd/benchsuite -quick           # smoke scale (seconds)
+//	go run ./cmd/benchsuite -only E4,E6      # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"deltacolor/internal/exp"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "run at smoke scale")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+		only   = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of markdown (notes omitted)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	runners := []struct {
+		id string
+		f  func(exp.Config) *exp.Table
+	}{
+		{"E1", exp.E1SmallDelta},
+		{"E2", exp.E2LargeDelta},
+		{"E3", exp.E3Deterministic},
+		{"E4", exp.E4Baseline},
+		{"E5", exp.E5Expansion},
+		{"E6", exp.E6Shattering},
+		{"E7", exp.E7Brooks},
+		{"E7B", exp.E7Adversarial},
+		{"E8", exp.E8NetDec},
+		{"E9", exp.E9Structure},
+		{"E10", exp.E10Ablations},
+		{"E11", exp.E11Congest},
+	}
+
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t0 := time.Now()
+		table := r.f(cfg)
+		if *csvOut {
+			fmt.Printf("# %s — %s\n", table.ID, table.Title)
+			if err := table.CSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		} else {
+			table.Markdown(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", r.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "suite done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,173 @@
+// Package deltacolor is the public API of this repository: distributed
+// Δ-coloring in the LOCAL model, reproducing "Improved Distributed
+// Δ-Coloring" (Ghaffari, Hirvonen, Kuhn, Maus; PODC 2018).
+//
+// A Δ-coloring is a proper vertex coloring using only Δ = maxdeg(G) colors.
+// By Brooks' theorem every connected graph that is neither a clique nor an
+// odd cycle admits one; this package computes it with simulated LOCAL-model
+// algorithms and reports the number of communication rounds consumed, the
+// quantity the paper's theorems bound:
+//
+//   - Algorithm AlgRandomized (Theorems 1 and 3): DCC removal, random
+//     T-node shattering, layered list colorings. O((log log n)²) rounds for
+//     constant Δ; O(log Δ) + shattering for Δ >= 4.
+//   - Algorithm AlgDeterministic (Theorem 4): ruling-set layering with
+//     Brooks recolorings of the base layer. O(Δ²·log² n) rounds with this
+//     repository's substituted subroutines.
+//   - Algorithm AlgBaseline: the Panconesi–Srinivasan-style comparator the
+//     paper improves on.
+//
+// Quickstart:
+//
+//	g := gen.MustRandomRegular(rand.New(rand.NewSource(1)), 1<<10, 4)
+//	res, err := deltacolor.Color(g, deltacolor.Options{Seed: 1})
+//	// res.Colors is a proper coloring with colors in [0, 4).
+package deltacolor
+
+import (
+	"fmt"
+
+	"deltacolor/graph"
+	"deltacolor/internal/baseline"
+	"deltacolor/internal/core"
+	"deltacolor/local"
+)
+
+// Algorithm selects the coloring algorithm.
+type Algorithm int
+
+const (
+	// AlgAuto picks per the paper's theorem preconditions: the small-Δ
+	// randomized version for Δ <= 5, the large-Δ version otherwise.
+	AlgAuto Algorithm = iota + 1
+	// AlgRandomized is the Section 4 randomized algorithm (Theorems 1/3).
+	AlgRandomized
+	// AlgDeterministic is the Theorem 4 deterministic algorithm.
+	AlgDeterministic
+	// AlgBaseline is the Panconesi–Srinivasan-style baseline.
+	AlgBaseline
+	// AlgNetDec is the Theorem 21 deterministic variant that rides on a
+	// network decomposition instead of the AGLP ruling-set recursion.
+	AlgNetDec
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgRandomized:
+		return "randomized"
+	case AlgDeterministic:
+		return "deterministic"
+	case AlgBaseline:
+		return "baseline"
+	case AlgNetDec:
+		return "netdec"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Color.
+type Options struct {
+	Algorithm Algorithm // default AlgAuto
+	Seed      int64
+
+	// Randomized-algorithm knobs (zero = the paper's defaults, see
+	// core.RandOptions.AutoParams): DCC radius R, marking backoff B,
+	// selection probability P.
+	R       int
+	Backoff int
+	P       float64
+	// Deterministic list coloring inside the randomized pipeline.
+	DeterministicLists bool
+}
+
+// PhaseStat re-exports the per-phase round accounting.
+type PhaseStat = local.PhaseStat
+
+// Result is a completed Δ-coloring with its LOCAL round cost.
+type Result struct {
+	Colors    []int
+	Delta     int
+	Rounds    int
+	Phases    []PhaseStat
+	Repairs   int // nodes completed by the Brooks safety net
+	Algorithm Algorithm
+}
+
+// Errors re-exported for matching with errors.Is.
+var (
+	ErrComplete       = core.ErrComplete
+	ErrOddCycle       = core.ErrOddCycle
+	ErrDegreeTooSmall = core.ErrDegreeTooSmall
+	ErrNotNice        = core.ErrNotNice
+)
+
+// Color computes a Δ-coloring of g. The graph must be "nice" per the
+// paper: every connected component is neither a path, a cycle, nor a
+// clique, and Δ >= 3 (otherwise a typed error is returned).
+func Color(g *graph.G, opts Options) (*Result, error) {
+	alg := opts.Algorithm
+	if alg == 0 {
+		alg = AlgAuto
+	}
+	if alg == AlgAuto {
+		alg = AlgRandomized
+	}
+	switch alg {
+	case AlgRandomized:
+		mode := core.ListColorRandomized
+		if opts.DeterministicLists {
+			mode = core.ListColorDeterministic
+		}
+		res, err := core.Randomized(g, core.RandOptions{
+			Seed:     opts.Seed,
+			R:        opts.R,
+			Backoff:  opts.Backoff,
+			P:        opts.P,
+			ListMode: mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return fromCore(res, AlgRandomized), nil
+	case AlgDeterministic:
+		res, err := core.Deterministic(g, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return fromCore(res, AlgDeterministic), nil
+	case AlgNetDec:
+		res, err := core.DeterministicNetDec(g, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return fromCore(res, AlgNetDec), nil
+	case AlgBaseline:
+		res, err := baseline.Color(g, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Colors:    res.Colors,
+			Delta:     res.Delta,
+			Rounds:    res.Rounds,
+			Phases:    res.Phases,
+			Algorithm: AlgBaseline,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %v", alg)
+	}
+}
+
+func fromCore(res *core.Result, alg Algorithm) *Result {
+	return &Result{
+		Colors:    res.Colors,
+		Delta:     res.Delta,
+		Rounds:    res.Rounds,
+		Phases:    res.Phases,
+		Repairs:   res.Repairs,
+		Algorithm: alg,
+	}
+}

@@ -1,0 +1,71 @@
+package deltacolor_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"deltacolor"
+	"deltacolor/graph/gen"
+	"deltacolor/verify"
+)
+
+func TestColorRandomizedRegular(t *testing.T) {
+	for _, d := range []int{3, 4, 6} {
+		rng := rand.New(rand.NewSource(int64(d)))
+		g := gen.MustRandomRegular(rng, 256, d)
+		res, err := deltacolor.Color(g, deltacolor.Options{Algorithm: deltacolor.AlgRandomized, Seed: int64(d)})
+		if err != nil {
+			t.Fatalf("Δ=%d: %v", d, err)
+		}
+		if err := verify.DeltaColoring(g, res.Colors, d); err != nil {
+			t.Fatalf("Δ=%d: %v", d, err)
+		}
+		if res.Rounds <= 0 {
+			t.Fatalf("Δ=%d: non-positive rounds %d", d, res.Rounds)
+		}
+		t.Logf("Δ=%d rounds=%d repairs=%d", d, res.Rounds, res.Repairs)
+	}
+}
+
+func TestColorDeterministicRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.MustRandomRegular(rng, 128, 4)
+	res, err := deltacolor.Color(g, deltacolor.Options{Algorithm: deltacolor.AlgDeterministic, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.DeltaColoring(g, res.Colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rounds=%d repairs=%d", res.Rounds, res.Repairs)
+}
+
+func TestColorBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := gen.MustRandomRegular(rng, 128, 4)
+	res, err := deltacolor.Color(g, deltacolor.Options{Algorithm: deltacolor.AlgBaseline, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.DeltaColoring(g, res.Colors, 4); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rounds=%d", res.Rounds)
+}
+
+func TestColorRejectsClique(t *testing.T) {
+	g := gen.Complete(5)
+	_, err := deltacolor.Color(g, deltacolor.Options{})
+	if !errors.Is(err, deltacolor.ErrComplete) {
+		t.Fatalf("want ErrComplete, got %v", err)
+	}
+}
+
+func TestColorRejectsOddCycle(t *testing.T) {
+	g := gen.Cycle(7)
+	_, err := deltacolor.Color(g, deltacolor.Options{})
+	if !errors.Is(err, deltacolor.ErrDegreeTooSmall) {
+		t.Fatalf("want ErrDegreeTooSmall, got %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+package deltacolor_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deltacolor"
+	"deltacolor/graph/gen"
+	"deltacolor/verify"
+)
+
+// The smallest complete use of the library: generate a nice graph, color
+// it with Δ colors, verify.
+func ExampleColor() {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.MustRandomRegular(rng, 64, 4)
+
+	res, err := deltacolor.Color(g, deltacolor.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := verify.DeltaColoring(g, res.Colors, res.Delta); err != nil {
+		panic(err)
+	}
+	fmt.Println("colors used:", verify.CountColors(res.Colors), "of Δ =", res.Delta)
+	// Output: colors used: 4 of Δ = 4
+}
+
+// Brooks' theorem excludes exactly two families; the API reports them as
+// typed errors.
+func ExampleColor_preconditions() {
+	_, err := deltacolor.Color(gen.Complete(5), deltacolor.Options{})
+	fmt.Println(err != nil)
+
+	_, err = deltacolor.Color(gen.Cycle(7), deltacolor.Options{})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+	// true
+}
+
+// Algorithms are selectable; all return per-phase round accounting.
+func ExampleOptions() {
+	g := gen.Torus(8, 8)
+	res, err := deltacolor.Color(g, deltacolor.Options{
+		Algorithm: deltacolor.AlgDeterministic,
+		Seed:      7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Algorithm, res.Delta, res.Rounds > 0, len(res.Phases) > 0)
+	// Output: deterministic 4 true true
+}

@@ -1,0 +1,129 @@
+// Exam scheduling with a conflict graph: courses that share a student must
+// sit in different time slots. The number of slots is the resource being
+// minimized — Δ-coloring saves one whole slot over the greedy Δ+1 bound,
+// which for a registrar is an entire exam day.
+//
+// The example synthesizes a realistic enrollment (students pick a handful
+// of courses with popularity skew), builds the conflict graph, colors it
+// with both Δ and the greedy Δ+1 for contrast, and prints the timetable
+// utilization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"deltacolor"
+	"deltacolor/graph"
+	"deltacolor/verify"
+)
+
+func main() {
+	const (
+		nCourses    = 600
+		nStudents   = 4000
+		coursesEach = 4
+		maxConflict = 9 // cap conflicts per course (sectioning splits hot courses)
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	g := enrollmentConflicts(rng, nCourses, nStudents, coursesEach, maxConflict)
+	delta := g.MaxDegree()
+	fmt.Printf("conflict graph: %d courses, %d conflicting pairs, max conflicts per course Δ=%d\n",
+		g.N(), g.M(), delta)
+
+	res, err := deltacolor.Color(g, deltacolor.Options{Seed: 42})
+	if err != nil {
+		log.Fatalf("Δ-slot schedule failed: %v", err)
+	}
+	if err := verify.DeltaColoring(g, res.Colors, res.Delta); err != nil {
+		log.Fatalf("invalid schedule: %v", err)
+	}
+
+	greedySlots := greedyColors(g)
+	fmt.Printf("\nΔ-coloring:      %d slots guaranteed (%d LOCAL rounds, alg=%s)\n", res.Delta, res.Rounds, res.Algorithm)
+	fmt.Printf("greedy measured: %d slots on this instance (its guarantee is only Δ+1 = %d)\n", greedySlots, res.Delta+1)
+	fmt.Println("the Δ-coloring guarantee matters when enrollments are adversarial: greedy")
+	fmt.Println("orderings exist that force Δ+1 slots, while Brooks' theorem promises Δ always.")
+
+	counts := make([]int, res.Delta)
+	for _, c := range res.Colors {
+		counts[c]++
+	}
+	fmt.Println("\ntimetable utilization:")
+	for slot, k := range counts {
+		fmt.Printf("  slot %d: %3d exams %s\n", slot, k, bar(k))
+	}
+}
+
+// enrollmentConflicts builds the course-conflict graph: course popularity
+// is skewed (prefix-biased sampling), two courses conflict when a student
+// takes both, and conflicts are capped per course. A course spine keeps
+// the graph connected so the Δ-coloring preconditions hold even for
+// unlucky enrollments.
+func enrollmentConflicts(rng *rand.Rand, nCourses, nStudents, coursesEach, maxConflict int) *graph.G {
+	g := graph.New(nCourses)
+	// Spine: course i conflicts with course i+1 (shared core curriculum).
+	for i := 0; i+1 < nCourses; i++ {
+		g.MustEdge(i, i+1)
+	}
+	for s := 0; s < nStudents; s++ {
+		picked := map[int]bool{}
+		var courses []int
+		for len(courses) < coursesEach {
+			// Prefix bias: lower-numbered courses are more popular.
+			c := int(float64(nCourses) * rng.Float64() * rng.Float64())
+			if c >= nCourses || picked[c] {
+				continue
+			}
+			picked[c] = true
+			courses = append(courses, c)
+		}
+		for i := 0; i < len(courses); i++ {
+			for j := i + 1; j < len(courses); j++ {
+				u, v := courses[i], courses[j]
+				if g.HasEdge(u, v) || g.Deg(u) >= maxConflict || g.Deg(v) >= maxConflict {
+					continue
+				}
+				g.MustEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// greedyColors runs the sequential greedy (Δ+1)-coloring and returns the
+// number of slots it uses — the comparison point for the saved slot.
+func greedyColors(g *graph.G) int {
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = -1
+	}
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		used := map[int]bool{}
+		for _, u := range g.Neighbors(v) {
+			if colors[u] >= 0 {
+				used[colors[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > max {
+			max = c + 1
+		}
+	}
+	return max
+}
+
+func bar(k int) string {
+	out := make([]byte, k/4)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,84 @@
+// SLOCAL demo (Remark 17 of the paper): Δ-coloring is computable in the
+// sequential-LOCAL model with locality O(log_Δ n) — each node, processed
+// in an ADVERSARIAL order, reads only a small ball (including outputs of
+// already-processed nodes) and commits its color, with the Brooks token
+// walk as the escape hatch when the greedy choice is blocked.
+//
+// The example runs the same graph under several processing orders —
+// including a worst-case-ish "color the dense core last" order — and
+// shows that the coloring is always valid and the measured locality stays
+// within the theorem's bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"deltacolor/graph/gen"
+	"deltacolor/slocal"
+	"deltacolor/verify"
+)
+
+func main() {
+	const n, d = 512, 4
+	rng := rand.New(rand.NewSource(21))
+	g := gen.MustRandomRegular(rng, n, d)
+
+	bound := 3*int(math.Ceil(2*math.Log(float64(n))/math.Log(float64(d-1)))) + 1
+	fmt.Printf("graph: n=%d Δ=%d; Theorem 5 locality bound (3·2·log_{Δ-1} n + 1) = %d\n\n", n, d, bound)
+
+	orders := map[string][]int{
+		"identity":           seq(n),
+		"random":             rng.Perm(n),
+		"high-degree-last":   byDegree(g.N(), func(v int) int { return g.Deg(v) }),
+		"interleaved halves": interleave(n),
+	}
+
+	names := make([]string, 0, len(orders))
+	for name := range orders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		colors, locality, err := slocal.DeltaColor(g, orders[name])
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := verify.DeltaColoring(g, colors, d); err != nil {
+			log.Fatalf("%s: invalid coloring: %v", name, err)
+		}
+		fmt.Printf("order %-18s -> valid Δ-coloring, measured locality %d (bound %d)\n", name, locality, bound)
+	}
+
+	fmt.Println("\nlocality is the largest ball any single node actually read or wrote;")
+	fmt.Println("most nodes commit greedily at locality 1, the Brooks walks set the max.")
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func interleave(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n/2; i++ {
+		out = append(out, i, n/2+i)
+	}
+	for i := 2 * (n / 2); i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func byDegree(n int, deg func(int) int) []int {
+	out := seq(n)
+	sort.SliceStable(out, func(i, j int) bool { return deg(out[i]) < deg(out[j]) })
+	return out
+}

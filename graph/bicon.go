@@ -1,0 +1,226 @@
+package graph
+
+// Block is a maximal 2-connected component (a "block" in the block-cut
+// tree sense): either a biconnected subgraph with >= 3 nodes, or a bridge
+// edge (2 nodes), or an isolated node.
+type Block struct {
+	Nodes []int
+	Edges [][2]int
+}
+
+// BiconnectedComponents computes the blocks of g using the iterative
+// Hopcroft–Tarjan lowpoint algorithm, plus the set of cut vertices.
+//
+// Every edge belongs to exactly one block; a node belongs to every block
+// containing one of its edges (isolated nodes form singleton blocks).
+func (g *G) BiconnectedComponents() (blocks []Block, cutVertex []bool) {
+	n := g.N()
+	cutVertex = make([]bool, n)
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var edgeStack [][2]int
+	timer := 0
+
+	type frame struct {
+		v, parent, ni int
+		children      int
+	}
+
+	popBlock := func(u, v int) {
+		var es [][2]int
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			es = append(es, e)
+			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+				break
+			}
+		}
+		if len(es) == 0 {
+			return
+		}
+		seen := map[int]bool{}
+		var nodes []int
+		for _, e := range es {
+			for _, x := range e[:] {
+				if !seen[x] {
+					seen[x] = true
+					nodes = append(nodes, x)
+				}
+			}
+		}
+		blocks = append(blocks, Block{Nodes: nodes, Edges: es})
+	}
+
+	for root := 0; root < n; root++ {
+		if disc[root] >= 0 {
+			continue
+		}
+		if g.Deg(root) == 0 {
+			disc[root] = timer
+			timer++
+			blocks = append(blocks, Block{Nodes: []int{root}})
+			continue
+		}
+		stack := []frame{{v: root, parent: -1}}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			if f.ni < len(g.adj[v]) {
+				w := g.adj[v][f.ni]
+				f.ni++
+				if w == f.parent {
+					continue
+				}
+				if disc[w] < 0 {
+					edgeStack = append(edgeStack, [2]int{v, w})
+					f.children++
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{v: w, parent: v})
+				} else if disc[w] < disc[v] {
+					// Back edge.
+					edgeStack = append(edgeStack, [2]int{v, w})
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if len(stack) == 0 {
+					continue
+				}
+				p := &stack[len(stack)-1]
+				u := p.v
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+				if low[v] >= disc[u] {
+					// u separates v's subtree: pop one block.
+					if p.parent != -1 || p.children > 1 {
+						cutVertex[u] = true
+					}
+					popBlock(u, v)
+				}
+			}
+		}
+	}
+	return blocks, cutVertex
+}
+
+// IsCliqueSet reports whether the given node set induces a clique in g.
+func (g *G) IsCliqueSet(nodes []int) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !g.HasEdge(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsInducedCycleSet reports whether the node set induces a (chordless)
+// cycle in g, and if so whether its length is odd.
+func (g *G) IsInducedCycleSet(nodes []int) (isCycle, odd bool) {
+	k := len(nodes)
+	if k < 3 {
+		return false, false
+	}
+	inSet := make(map[int]bool, k)
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	for _, v := range nodes {
+		deg := 0
+		for _, w := range g.adj[v] {
+			if inSet[w] {
+				deg++
+			}
+		}
+		if deg != 2 {
+			return false, false
+		}
+	}
+	// All internal degrees 2: the induced subgraph is a disjoint union of
+	// cycles; it is a single cycle iff it is connected.
+	sub, _, err := g.InducedSubgraph(nodes)
+	if err != nil || !sub.IsConnected() {
+		return false, false
+	}
+	return true, k%2 == 1
+}
+
+// IsClique reports whether the whole graph is a complete graph K_n
+// (true for n <= 1).
+func (g *G) IsClique() bool {
+	n := g.N()
+	return g.m == n*(n-1)/2 && g.MinDegree() == n-1 || n <= 1
+}
+
+// IsOddCycle reports whether the whole graph is a single odd cycle.
+func (g *G) IsOddCycle() bool {
+	n := g.N()
+	if n < 3 || n%2 == 0 || g.m != n {
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if g.Deg(v) != 2 {
+			return false
+		}
+	}
+	return g.IsConnected()
+}
+
+// IsPath reports whether the graph is a simple path (n >= 1).
+func (g *G) IsPath() bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return g.m == 0
+	}
+	if g.m != n-1 || !g.IsConnected() {
+		return false
+	}
+	ones := 0
+	for v := 0; v < n; v++ {
+		switch g.Deg(v) {
+		case 1:
+			ones++
+		case 2:
+		default:
+			return false
+		}
+	}
+	return ones == 2
+}
+
+// IsCycle reports whether the graph is a single cycle of any parity.
+func (g *G) IsCycle() bool {
+	n := g.N()
+	if n < 3 || g.m != n {
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if g.Deg(v) != 2 {
+			return false
+		}
+	}
+	return g.IsConnected()
+}
+
+// IsNice reports whether the connected graph is a "nice graph" in the
+// paper's sense: neither a path, nor a cycle, nor a clique. All nice
+// graphs are Δ-colorable (Brooks).
+func (g *G) IsNice() bool {
+	return !g.IsPath() && !g.IsCycle() && !g.IsClique()
+}

@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// dotPalette maps small color indices to Graphviz color names; indices
+// beyond the palette wrap around.
+var dotPalette = []string{
+	"tomato", "steelblue", "gold", "mediumseagreen",
+	"orchid", "sandybrown", "turquoise", "slategray",
+	"hotpink", "yellowgreen", "cornflowerblue", "salmon",
+}
+
+// WriteDOT renders g in Graphviz DOT format. When colors is non-nil,
+// nodes are filled per their color index (entries < 0 are drawn hollow):
+// the one-liner to eyeball a Δ-coloring:
+//
+//	dot -Tsvg out.dot > out.svg
+func WriteDOT(w io.Writer, g *G, colors []int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph G {")
+	fmt.Fprintln(bw, "  node [shape=circle style=filled fontsize=10];")
+	for v := 0; v < g.N(); v++ {
+		fill := "white"
+		if colors != nil && v < len(colors) && colors[v] >= 0 {
+			fill = dotPalette[colors[v]%len(dotPalette)]
+		}
+		fmt.Fprintf(bw, "  %d [fillcolor=%q];\n", v, fill)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, []int{0, 1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph G {", "0 -- 1;", "1 -- 2;", `"tomato"`, `"steelblue"`, `"white"`, "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTNilColors(t *testing.T) {
+	g := New(2)
+	g.MustEdge(0, 1)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"white"`) {
+		t.Fatal("uncolored nodes should be white")
+	}
+}
+
+func TestWriteDOTPaletteWraps(t *testing.T) {
+	g := New(1)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, []int{len(dotPalette) + 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), dotPalette[2]) {
+		t.Fatalf("palette should wrap: %s", buf.String())
+	}
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: the parser must never panic, and anything it accepts
+// must re-serialize and re-parse to the same graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("n 4\n0 1\n1 2\n")
+	f.Add("0 1\n# comment\n\n2 3\n")
+	f.Add("n 0\n")
+	f.Add("x y\n")
+	f.Add("n 2\n0 5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("round trip changed graph: n %d->%d m %d->%d", g.N(), h.N(), g.M(), h.M())
+		}
+	})
+}
+
+// FuzzFromGraph6: the decoder must never panic, and anything it accepts
+// must re-encode to a decodable string describing the same graph.
+func FuzzFromGraph6(f *testing.F) {
+	f.Add("DQc")
+	f.Add("?")
+	f.Add("A_")
+	f.Add("~~~")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := FromGraph6(in)
+		if err != nil {
+			return
+		}
+		s, err := ToGraph6(g)
+		if err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		h, err := FromGraph6(s)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("round trip changed graph: n %d->%d m %d->%d", g.N(), h.N(), g.M(), h.M())
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package gen
+
+import "deltacolor/graph"
+
+// CliqueCactus returns a depth-layered tree of K_k cliques in which every
+// node of a clique at depth < depth spawns exactly one child clique
+// through itself. Interior nodes therefore lie in exactly two k-cliques
+// and have degree Δ = 2(k-1); only the deepest layer's nodes have degree
+// k-1.
+//
+// This family is the canonical positive instance for the expansion lemmas
+// (E5): it is a Gallai tree, hence free of degree-choosable components at
+// every radius, while interior balls are Δ-regular — precisely the
+// precondition of Lemma 15 — and its spheres grow like (k-1)^t, beating
+// the (Δ-1)^(t/2) bound non-trivially.
+func CliqueCactus(k, depth int) *graph.G {
+	if k < 2 {
+		return graph.New(0)
+	}
+	// Count nodes: root clique has k nodes; every node of depth < depth
+	// spawns k-1 fresh nodes.
+	type frontierNode struct{ id int }
+	total := k
+	layer := k
+	for d := 0; d < depth; d++ {
+		grown := layer * (k - 1)
+		total += grown
+		layer = grown
+	}
+	g := graph.New(total)
+	next := 0
+	alloc := func(c int) []int {
+		out := make([]int, c)
+		for i := range out {
+			out[i] = next
+			next++
+		}
+		return out
+	}
+	addClique := func(nodes []int) {
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				g.MustEdge(nodes[i], nodes[j])
+			}
+		}
+	}
+	root := alloc(k)
+	addClique(root)
+	frontier := root
+	for d := 0; d < depth; d++ {
+		var nextFrontier []int
+		for _, v := range frontier {
+			fresh := alloc(k - 1)
+			addClique(append([]int{v}, fresh...))
+			nextFrontier = append(nextFrontier, fresh...)
+		}
+		frontier = nextFrontier
+	}
+	return g
+}

@@ -1,0 +1,56 @@
+package gen
+
+import "testing"
+
+func TestCliqueCactusDegrees(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		g := CliqueCactus(k, 3)
+		delta := 2 * (k - 1)
+		if got := g.MaxDegree(); got != delta {
+			t.Fatalf("k=%d: Δ=%d, want %d", k, got, delta)
+		}
+		interior, leaves := 0, 0
+		for v := 0; v < g.N(); v++ {
+			switch g.Deg(v) {
+			case delta:
+				interior++
+			case k - 1:
+				leaves++
+			default:
+				t.Fatalf("k=%d: node %d has degree %d, want %d or %d", k, v, g.Deg(v), delta, k-1)
+			}
+		}
+		if interior == 0 || leaves == 0 {
+			t.Fatalf("k=%d: interior=%d leaves=%d, want both > 0", k, interior, leaves)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("k=%d: not connected", k)
+		}
+	}
+}
+
+func TestCliqueCactusSize(t *testing.T) {
+	// k=3, depth=2: 3 + 3·2 + 6·2 = 21 nodes.
+	g := CliqueCactus(3, 2)
+	if g.N() != 21 {
+		t.Fatalf("n=%d, want 21", g.N())
+	}
+	// Degenerate parameters.
+	if CliqueCactus(1, 3).N() != 0 {
+		t.Fatal("k=1 should produce the empty graph")
+	}
+	if g := CliqueCactus(3, 0); g.N() != 3 || g.M() != 3 {
+		t.Fatalf("depth=0: n=%d m=%d, want 3, 3 (one triangle)", g.N(), g.M())
+	}
+}
+
+func TestCliqueCactusIsGallaiLike(t *testing.T) {
+	// Every block is a clique: biconnected components must all be cliques.
+	g := CliqueCactus(3, 3)
+	blocks, _ := g.BiconnectedComponents()
+	for _, b := range blocks {
+		if !g.IsCliqueSet(b.Nodes) {
+			t.Fatalf("block %v is not a clique", b.Nodes)
+		}
+	}
+}

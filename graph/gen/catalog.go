@@ -1,0 +1,105 @@
+package gen
+
+import "deltacolor/graph"
+
+// Named-graph catalog: classic small graphs with known invariants, used
+// as ground truth for the graph algorithms and as hard Δ = 3 coloring
+// fixtures (cubic graphs of high girth are exactly the "locally tree-like
+// but globally cyclic" inputs the paper's structural section reasons
+// about).
+
+// NamedGraph couples a generator with its published invariants.
+type NamedGraph struct {
+	Name     string
+	Build    func() *graph.G
+	N, M     int
+	Degree   int // -1 if not regular
+	Girth    int
+	Diameter int
+	// Chromatic is the chromatic number; all catalog cubic graphs are
+	// 3-colorable (class considerations aside, none is K4 or an odd cycle).
+	Chromatic int
+}
+
+// Catalog returns the named graphs with their invariants.
+func Catalog() []NamedGraph {
+	return []NamedGraph{
+		{"petersen", Petersen, 10, 15, 3, 5, 2, 3},
+		{"heawood", Heawood, 14, 21, 3, 6, 3, 2},
+		{"pappus", Pappus, 18, 27, 3, 6, 4, 2},
+		{"desargues", Desargues, 20, 30, 3, 6, 5, 2},
+		{"moebius-kantor", MoebiusKantor, 16, 24, 3, 6, 4, 2},
+		{"dodecahedron", Dodecahedron, 20, 30, 3, 5, 5, 3},
+		{"mcgee", McGee, 24, 36, 3, 7, 4, 3},
+		{"tutte-coxeter", TutteCoxeter, 30, 45, 3, 8, 4, 2},
+	}
+}
+
+// generalizedPetersen returns GP(n, k): outer cycle u_0..u_{n-1}, inner
+// nodes v_i with spokes u_i-v_i and inner edges v_i-v_{i+k}.
+func generalizedPetersen(n, k int) *graph.G {
+	g := graph.New(2 * n)
+	for i := 0; i < n; i++ {
+		g.MustEdge(i, (i+1)%n)     // outer cycle
+		g.MustEdge(i, n+i)         // spoke
+		g.MustEdge(n+i, n+(i+k)%n) // inner jumps; duplicates impossible for k < n/2
+	}
+	return g
+}
+
+// Heawood returns the Heawood graph (point-line incidence graph of the
+// Fano plane): 3-regular, girth 6.
+func Heawood() *graph.G {
+	// Standard construction: C14 plus chords i -> i+5 for odd i.
+	g := graph.New(14)
+	for i := 0; i < 14; i++ {
+		g.MustEdge(i, (i+1)%14)
+	}
+	for i := 1; i < 14; i += 2 {
+		g.MustEdge(i, (i+5)%14)
+	}
+	return g
+}
+
+// Pappus returns the Pappus graph: 3-regular, girth 6, the incidence
+// graph of the Pappus configuration. LCF notation [5,7,-7,7,-7,-5]^3.
+func Pappus() *graph.G {
+	return lcf(18, []int{5, 7, -7, 7, -7, -5})
+}
+
+// Desargues returns the Desargues graph GP(10, 3).
+func Desargues() *graph.G { return generalizedPetersen(10, 3) }
+
+// MoebiusKantor returns the Möbius–Kantor graph GP(8, 3).
+func MoebiusKantor() *graph.G { return generalizedPetersen(8, 3) }
+
+// Dodecahedron returns the dodecahedral graph GP(10, 2).
+func Dodecahedron() *graph.G { return generalizedPetersen(10, 2) }
+
+// McGee returns the McGee graph: the (3,7)-cage. LCF [12,7,-7]^8.
+func McGee() *graph.G {
+	return lcf(24, []int{12, 7, -7})
+}
+
+// TutteCoxeter returns the Tutte–Coxeter graph (Levi graph of the Cremona–
+// Richmond configuration): the (3,8)-cage. LCF [-13,-9,7,-7,9,13]^5.
+func TutteCoxeter() *graph.G {
+	return lcf(30, []int{-13, -9, 7, -7, 9, 13})
+}
+
+// lcf builds a cubic Hamiltonian graph from LCF notation: a Hamiltonian
+// cycle on n nodes plus chords i -> i + jumps[i mod len] (mod n).
+func lcf(n int, jumps []int) *graph.G {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustEdge(i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		j := jumps[i%len(jumps)]
+		u, v := i, ((i+j)%n+n)%n
+		if !g.HasEdge(u, v) {
+			g.MustEdge(u, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"testing"
+)
+
+// TestCatalogInvariants checks every named graph against its published
+// node count, edge count, regularity, girth and diameter — ground truth
+// for the graph algorithms (Girth, Diameter) at the same time.
+func TestCatalogInvariants(t *testing.T) {
+	for _, ng := range Catalog() {
+		t.Run(ng.Name, func(t *testing.T) {
+			g := ng.Build()
+			if g.N() != ng.N {
+				t.Fatalf("n = %d, want %d", g.N(), ng.N)
+			}
+			if g.M() != ng.M {
+				t.Fatalf("m = %d, want %d", g.M(), ng.M)
+			}
+			if ng.Degree >= 0 {
+				for v := 0; v < g.N(); v++ {
+					if g.Deg(v) != ng.Degree {
+						t.Fatalf("node %d degree %d, want %d-regular", v, g.Deg(v), ng.Degree)
+					}
+				}
+			}
+			if !g.IsConnected() {
+				t.Fatal("not connected")
+			}
+			if got := g.Girth(); got != ng.Girth {
+				t.Fatalf("girth = %d, want %d", got, ng.Girth)
+			}
+			if got := g.Diameter(); got != ng.Diameter {
+				t.Fatalf("diameter = %d, want %d", got, ng.Diameter)
+			}
+		})
+	}
+}
+
+// TestCatalogBipartiteness: girth-6+ LCF graphs in the catalog with
+// chromatic number 2 must actually be bipartite, and the chromatic-3
+// graphs must contain an odd cycle.
+func TestCatalogBipartiteness(t *testing.T) {
+	for _, ng := range Catalog() {
+		t.Run(ng.Name, func(t *testing.T) {
+			g := ng.Build()
+			bip := isBipartite(g)
+			if want := ng.Chromatic == 2; bip != want {
+				t.Fatalf("bipartite = %v, want %v (chromatic %d)", bip, want, ng.Chromatic)
+			}
+		})
+	}
+}
+
+func isBipartite(g interface {
+	N() int
+	Neighbors(int) []int
+}) bool {
+	side := make([]int, g.N())
+	for i := range side {
+		side[i] = -1
+	}
+	for s := 0; s < g.N(); s++ {
+		if side[s] >= 0 {
+			continue
+		}
+		side[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if side[u] < 0 {
+					side[u] = 1 - side[v]
+					queue = append(queue, u)
+				} else if side[u] == side[v] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,397 @@
+// Package gen builds the synthetic graph families used as workloads in the
+// experiments: regular random graphs (the main workload for all round-count
+// experiments), classic named families (cycles, cliques, grids, hypercubes,
+// trees), and adversarial families (Gallai trees, near-regular gadgets)
+// exercising the structural lemmas.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deltacolor/graph"
+)
+
+// Cycle returns the cycle C_n (n >= 3).
+func Cycle(n int) *graph.G {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the path P_n on n nodes.
+func Path(n int) *graph.G {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustEdge(i, i+1)
+	}
+	return g
+}
+
+// Complete returns the clique K_n.
+func Complete(n int) *graph.G {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustEdge(i, j)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: left nodes 0..a-1, right a..a+b-1.
+func CompleteBipartite(a, b int) *graph.G {
+	g := graph.New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.MustEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *graph.G {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows x cols toroidal grid (4-regular when both >= 3).
+func Torus(rows, cols int) *graph.G {
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if cols > 2 || (cols == 2 && c == 0) {
+				g.MustEdge(id(r, c), id(r, (c+1)%cols))
+			}
+			if rows > 2 || (rows == 2 && r == 0) {
+				g.MustEdge(id(r, c), id((r+1)%rows, c))
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes.
+func Hypercube(d int) *graph.G {
+	n := 1 << d
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				g.MustEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteTree returns the complete rooted tree with branching factor b and
+// given depth (depth 0 = single node). Internal nodes have degree b+1
+// (except the root, with degree b).
+func CompleteTree(b, depth int) *graph.G {
+	// Count nodes.
+	n, layer := 1, 1
+	for d := 0; d < depth; d++ {
+		layer *= b
+		n += layer
+	}
+	g := graph.New(n)
+	// BFS-number the tree: children of node i are consecutive.
+	next := 1
+	queue := []struct{ id, d int }{{0, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d == depth {
+			continue
+		}
+		for c := 0; c < b; c++ {
+			g.MustEdge(cur.id, next)
+			queue = append(queue, struct{ id, d int }{next, cur.d + 1})
+			next++
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes via a
+// random Prüfer sequence.
+func RandomTree(rng *rand.Rand, n int) *graph.G {
+	g := graph.New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.MustEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+		deg[prufer[i]]++
+	}
+	// Standard decoding.
+	leafPtr := 0
+	for deg[leafPtr] != 1 {
+		leafPtr++
+	}
+	leaf := leafPtr
+	for _, v := range prufer {
+		g.MustEdge(leaf, v)
+		deg[v]--
+		if deg[v] == 1 && v < leafPtr {
+			leaf = v
+		} else {
+			leafPtr++
+			for deg[leafPtr] != 1 {
+				leafPtr++
+			}
+			leaf = leafPtr
+		}
+	}
+	// Remaining two nodes of degree 1: leaf and n-1.
+	g.MustEdge(leaf, n-1)
+	return g
+}
+
+// RandomRegular returns a random d-regular simple graph on n nodes via the
+// configuration model with edge-swap repair: a random stub matching is
+// drawn, then self-loops and parallel edges are removed by swapping them
+// against random good edges (double edge swaps preserve the degree
+// sequence). Requires n*d even, d < n.
+func RandomRegular(rng *rand.Rand, n, d int) (*graph.G, error) {
+	if d >= n {
+		return nil, fmt.Errorf("random regular: need d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("random regular: n*d must be even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return graph.New(n), nil
+	}
+	const maxRestarts = 50
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		if g, ok := configurationWithRepair(rng, n, d); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("random regular: repair failed after %d restarts (n=%d d=%d)", maxRestarts, n, d)
+}
+
+func configurationWithRepair(rng *rand.Rand, n, d int) (*graph.G, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	// Multigraph as an edge list with an O(1) multiplicity index.
+	m := len(stubs) / 2
+	edges := make([][2]int, m)
+	cnt := make(map[[2]int]int, m)
+	norm := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	for i := 0; i < m; i++ {
+		edges[i] = [2]int{stubs[2*i], stubs[2*i+1]}
+		cnt[norm(edges[i][0], edges[i][1])]++
+	}
+	isBad := func(e [2]int) bool { return e[0] == e[1] || cnt[norm(e[0], e[1])] > 1 }
+	// Repair loop: pick a bad edge (a,b) and a random edge (x,y); the
+	// degree-preserving swap (a,b),(x,y) -> (a,x),(b,y) is accepted when
+	// the two new edges are simple and fresh.
+	bad := make([]int, 0, m)
+	for i, e := range edges {
+		if isBad(e) {
+			bad = append(bad, i)
+		}
+	}
+	budget := 400 * (len(bad) + 16)
+	for len(bad) > 0 && budget > 0 {
+		badIdx := bad[len(bad)-1]
+		if !isBad(edges[badIdx]) {
+			bad = bad[:len(bad)-1]
+			continue
+		}
+		swapped := false
+		for tries := 0; tries < 100 && budget > 0; tries++ {
+			budget--
+			j := rng.Intn(m)
+			if j == badIdx {
+				continue
+			}
+			a, b := edges[badIdx][0], edges[badIdx][1]
+			x, y := edges[j][0], edges[j][1]
+			if rng.Intn(2) == 0 {
+				x, y = y, x
+			}
+			if a == x || b == y || cnt[norm(a, x)] > 0 || cnt[norm(b, y)] > 0 {
+				continue
+			}
+			cnt[norm(a, b)]--
+			cnt[norm(x, y)]--
+			edges[badIdx] = [2]int{a, x}
+			edges[j] = [2]int{b, y}
+			cnt[norm(a, x)]++
+			cnt[norm(b, y)]++
+			swapped = true
+			break
+		}
+		if !swapped {
+			return nil, false
+		}
+		if !isBad(edges[badIdx]) {
+			bad = bad[:len(bad)-1]
+		}
+	}
+	if len(bad) > 0 {
+		return nil, false
+	}
+	g := graph.New(n)
+	for _, e := range edges {
+		g.MustEdge(e[0], e[1])
+	}
+	return g, true
+}
+
+// MustRandomRegular is RandomRegular that panics on error; for tests and
+// generators where parameters are statically valid.
+func MustRandomRegular(rng *rand.Rand, n, d int) *graph.G {
+	g, err := RandomRegular(rng, n, d)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// GNPMaxDeg samples G(n, p) and then deletes edges at random from any node
+// exceeding maxDeg, yielding a graph with maximum degree <= maxDeg.
+func GNPMaxDeg(rng *rand.Rand, n int, p float64, maxDeg int) *graph.G {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p && g.Deg(u) < maxDeg && g.Deg(v) < maxDeg {
+				g.MustEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// GallaiTree builds a random Gallai tree: a connected graph whose blocks
+// are all cliques or odd cycles. blocks is the number of blocks to chain;
+// each block is a K_k (k in [2, maxClique]) or an odd cycle (length in
+// {3,5,7}), attached at a random existing node.
+func GallaiTree(rng *rand.Rand, blocks, maxClique int) *graph.G {
+	if maxClique < 2 {
+		maxClique = 2
+	}
+	type blockSpec struct {
+		clique bool
+		size   int
+	}
+	specs := make([]blockSpec, blocks)
+	total := 1
+	for i := range specs {
+		if rng.Intn(2) == 0 {
+			k := 2 + rng.Intn(maxClique-1)
+			specs[i] = blockSpec{clique: true, size: k}
+		} else {
+			l := 3 + 2*rng.Intn(3)
+			specs[i] = blockSpec{clique: false, size: l}
+		}
+		total += specs[i].size - 1
+	}
+	g := graph.New(total)
+	used := 1
+	attach := []int{0}
+	for _, s := range specs {
+		at := attach[rng.Intn(len(attach))]
+		ids := make([]int, s.size)
+		ids[0] = at
+		for j := 1; j < s.size; j++ {
+			ids[j] = used
+			used++
+			attach = append(attach, ids[j])
+		}
+		if s.clique {
+			for a := 0; a < s.size; a++ {
+				for b := a + 1; b < s.size; b++ {
+					g.MustEdge(ids[a], ids[b])
+				}
+			}
+		} else {
+			for a := 0; a < s.size; a++ {
+				g.MustEdge(ids[a], ids[(a+1)%s.size])
+			}
+		}
+	}
+	return g
+}
+
+// CliqueChain returns a "chain of cliques": c copies of K_k where
+// consecutive cliques share exactly one node. A canonical Gallai tree with
+// Δ = 2(k-1) at shared nodes.
+func CliqueChain(k, c int) *graph.G {
+	if c < 1 {
+		return graph.New(0)
+	}
+	n := c*(k-1) + 1
+	g := graph.New(n)
+	for b := 0; b < c; b++ {
+		base := b * (k - 1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				g.MustEdge(base+i, base+j)
+			}
+		}
+	}
+	return g
+}
+
+// NearRegularWithDCC glues an even cycle with a chord (a canonical small
+// degree-choosable component) onto a random d-regular graph, so that DCC
+// detection has something to find.
+func NearRegularWithDCC(rng *rand.Rand, n, d int) (*graph.G, error) {
+	base, err := RandomRegular(rng, n, d)
+	if err != nil {
+		return nil, err
+	}
+	// Append a 4-cycle with a chord (K_4 minus an edge), attached by one edge.
+	g := graph.New(n + 4)
+	for _, e := range base.Edges() {
+		g.MustEdge(e[0], e[1])
+	}
+	a, b, c, dd := n, n+1, n+2, n+3
+	g.MustEdge(a, b)
+	g.MustEdge(b, c)
+	g.MustEdge(c, dd)
+	g.MustEdge(dd, a)
+	g.MustEdge(a, c)
+	g.MustEdge(b, rng.Intn(n))
+	return g, nil
+}

@@ -1,0 +1,229 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCycle(t *testing.T) {
+	g := Cycle(5)
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsOddCycle() {
+		t.Fatal("C5 should be odd cycle")
+	}
+}
+
+func TestPathGen(t *testing.T) {
+	g := Path(6)
+	if g.M() != 5 || !g.IsPath() {
+		t.Fatal("path wrong")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 || !g.IsClique() {
+		t.Fatal("K6 wrong")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K3,4: n=%d m=%d", g.N(), g.M())
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(0, 3) {
+		t.Fatal("bipartition broken")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("grid n=%d m=%d", g.N(), g.M())
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatalf("grid maxdeg %d", g.MaxDegree())
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Fatalf("torus node %d degree %d", v, g.Deg(v))
+		}
+	}
+	g2 := Torus(2, 3)
+	if g2.N() != 6 {
+		t.Fatal("2x3 torus size")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Fatal("Q4 is 4-regular")
+		}
+	}
+	if g.Girth() != 4 {
+		t.Fatalf("Q4 girth %d", g.Girth())
+	}
+}
+
+func TestCompleteTree(t *testing.T) {
+	g := CompleteTree(3, 2) // 1 + 3 + 9 nodes
+	if g.N() != 13 || g.M() != 12 {
+		t.Fatalf("tree n=%d m=%d", g.N(), g.M())
+	}
+	if g.Deg(0) != 3 {
+		t.Fatal("root degree")
+	}
+	if !g.IsConnected() {
+		t.Fatal("tree connected")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := RandomTree(rng, n)
+		if g.N() != n || g.M() != n-1 {
+			t.Fatalf("seed=%d: n=%d m=%d", seed, g.N(), g.M())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("seed=%d: tree disconnected", seed)
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{16, 3}, {64, 4}, {64, 6}, {100, 8}, {32, 5}} {
+		rng := rand.New(rand.NewSource(int64(tc.n*100 + tc.d)))
+		g, err := RandomRegular(rng, tc.n, tc.d)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v) != tc.d {
+				t.Fatalf("n=%d d=%d: node %d has degree %d", tc.n, tc.d, v, g.Deg(v))
+			}
+		}
+	}
+}
+
+func TestRandomRegularRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomRegular(rng, 5, 3); err == nil {
+		t.Fatal("odd n*d should error")
+	}
+	if _, err := RandomRegular(rng, 4, 4); err == nil {
+		t.Fatal("d >= n should error")
+	}
+	g, err := RandomRegular(rng, 4, 0)
+	if err != nil || g.M() != 0 {
+		t.Fatal("0-regular should be empty")
+	}
+}
+
+// Property: random regular graphs are simple and exactly d-regular.
+func TestRandomRegularProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + 2*rng.Intn(40)
+		d := 3 + rng.Intn(5)
+		if n*d%2 == 1 {
+			n++
+		}
+		g, err := RandomRegular(rng, n, d)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v) != d {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, u := range g.Neighbors(v) {
+				if u == v || seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGNPMaxDeg(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := GNPMaxDeg(rng, 200, 0.05, 6)
+	if g.MaxDegree() > 6 {
+		t.Fatalf("max degree %d > cap", g.MaxDegree())
+	}
+	if g.M() == 0 {
+		t.Fatal("expected some edges")
+	}
+}
+
+func TestGallaiTreeGenerator(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := GallaiTree(rng, 6, 4)
+		if !g.IsConnected() {
+			t.Fatalf("seed=%d: disconnected", seed)
+		}
+		blocks, _ := g.BiconnectedComponents()
+		for _, b := range blocks {
+			if len(b.Nodes) <= 2 {
+				continue
+			}
+			isClique := g.IsCliqueSet(b.Nodes)
+			isCyc, odd := g.IsInducedCycleSet(b.Nodes)
+			if !isClique && !(isCyc && odd) {
+				t.Fatalf("seed=%d: block %v is neither clique nor odd cycle", seed, b.Nodes)
+			}
+		}
+	}
+}
+
+func TestCliqueChain(t *testing.T) {
+	g := CliqueChain(4, 3)
+	if g.N() != 10 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// shared nodes have degree 2(k-1)=6, others k-1=3
+	if g.MaxDegree() != 6 || g.MinDegree() != 3 {
+		t.Fatalf("degrees %d/%d", g.MaxDegree(), g.MinDegree())
+	}
+	blocks, _ := g.BiconnectedComponents()
+	if len(blocks) != 3 {
+		t.Fatalf("blocks=%d", len(blocks))
+	}
+}
+
+func TestNearRegularWithDCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := NearRegularWithDCC(rng, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 36 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// the appended diamond must exist
+	if !g.HasEdge(32, 34) {
+		t.Fatal("chord missing")
+	}
+}

@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deltacolor/graph"
+)
+
+// Petersen returns the Petersen graph: 3-regular, girth 5, the classic
+// non-trivial Δ = 3 coloring instance (it is 3-chromatic but not
+// bipartite, and contains no small degree-choosable-free shortcuts).
+func Petersen() *graph.G {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		g.MustEdge(i, (i+1)%5)     // outer cycle
+		g.MustEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.MustEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(jumps): node i is adjacent to
+// i±j (mod n) for each jump j. Regular of degree 2·|jumps| (or less when a
+// jump equals n/2). Girth and local structure are controlled by the jump
+// set, making circulants a tunable family for the structural experiments.
+func Circulant(n int, jumps []int) (*graph.G, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("circulant: n=%d < 3", n)
+	}
+	g := graph.New(n)
+	for _, j := range jumps {
+		if j <= 0 || j > n/2 {
+			return nil, fmt.Errorf("circulant: jump %d outside [1, n/2]", j)
+		}
+		for i := 0; i < n; i++ {
+			u, v := i, (i+j)%n
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustEdge(u, v)
+		}
+	}
+	return g, nil
+}
+
+// MustCirculant is Circulant for statically valid parameters.
+func MustCirculant(n int, jumps []int) *graph.G {
+	g, err := Circulant(n, jumps)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomBipartiteRegular returns a bipartite d-regular graph on 2n nodes
+// (left 0..n-1, right n..2n-1) built from d random perfect matchings with
+// collision retries. Bipartite regular graphs are the easy side of
+// Δ-coloring (χ = 2) and make good sanity workloads: every algorithm must
+// still use only Δ colors, but no hard structure exists.
+func RandomBipartiteRegular(rng *rand.Rand, n, d int) (*graph.G, error) {
+	if d < 1 || d > n {
+		return nil, fmt.Errorf("bipartite regular: d=%d outside [1, %d]", d, n)
+	}
+	const attempts = 400
+	g := graph.New(2 * n)
+	for m := 0; m < d; m++ {
+		placed := false
+		for a := 0; a < attempts && !placed; a++ {
+			perm := rng.Perm(n)
+			collision := false
+			for i := 0; i < n; i++ {
+				if g.HasEdge(i, n+perm[i]) {
+					collision = true
+					break
+				}
+			}
+			if collision {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				g.MustEdge(i, n+perm[i])
+			}
+			placed = true
+		}
+		if !placed {
+			return nil, fmt.Errorf("bipartite regular: no collision-free matching %d after %d attempts (n=%d, d=%d)", m, attempts, n, d)
+		}
+	}
+	return g, nil
+}
+
+// MustRandomBipartiteRegular panics on generation failure.
+func MustRandomBipartiteRegular(rng *rand.Rand, n, d int) *graph.G {
+	g, err := RandomBipartiteRegular(rng, n, d)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// HighGirthRegular returns a d-regular-ish graph with girth > girthMin,
+// built by rejection: random regular graphs are generated and short cycles
+// broken by local edge swaps; generation fails if the girth target is
+// infeasible at this size. High-girth graphs have no small even cycles —
+// hence no small DCCs — and are the cleanest inputs for the expansion
+// lemmas (E5).
+func HighGirthRegular(rng *rand.Rand, n, d, girthMin int) (*graph.G, error) {
+	const attempts = 60
+	for a := 0; a < attempts; a++ {
+		g, err := RandomRegular(rng, n, d)
+		if err != nil {
+			continue
+		}
+		if improveGirth(rng, g, girthMin) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("high girth: could not reach girth > %d at n=%d d=%d", girthMin, n, d)
+}
+
+// improveGirth tries to remove all cycles of length <= girthMin by edge
+// swaps: pick an edge on a short cycle and a random far-away edge, swap
+// endpoints (a degree-preserving double swap). Returns success.
+func improveGirth(rng *rand.Rand, g *graph.G, girthMin int) bool {
+	for round := 0; round < 4*g.N(); round++ {
+		u, v, found := findShortCycleEdge(g, girthMin)
+		if !found {
+			return true
+		}
+		swapped := false
+		es := g.Edges()
+		for try := 0; try < 32; try++ {
+			// Random partner edge {x, y} disjoint from {u, v}.
+			e := es[rng.Intn(len(es))]
+			x, y := e[0], e[1]
+			if x == u || x == v || y == u || y == v {
+				continue
+			}
+			// Swap to {u, x}, {v, y} when both are fresh.
+			if g.HasEdge(u, x) || g.HasEdge(v, y) {
+				continue
+			}
+			rebuildWithSwap(g, [2]int{u, v}, [2]int{x, y}, [2]int{u, x}, [2]int{v, y})
+			swapped = true
+			break
+		}
+		if !swapped {
+			return false
+		}
+	}
+	_, _, found := findShortCycleEdge(g, girthMin)
+	return !found
+}
+
+// findShortCycleEdge returns an edge lying on a cycle of length <=
+// girthMin, if any. An edge {u, v} lies on such a cycle iff removing it
+// leaves a u-v path of length <= girthMin-1; we test with a truncated BFS
+// that ignores the direct edge.
+func findShortCycleEdge(g *graph.G, girthMin int) (int, int, bool) {
+	for _, e := range g.Edges() {
+		if pathWithoutEdge(g, e[0], e[1], girthMin-1) {
+			return e[0], e[1], true
+		}
+	}
+	return 0, 0, false
+}
+
+// pathWithoutEdge reports whether a u-v path of length <= limit exists
+// that does not use the edge {u, v} itself.
+func pathWithoutEdge(g *graph.G, u, v, limit int) bool {
+	dist := map[int]int{u: 0}
+	frontier := []int{u}
+	for depth := 0; depth < limit && len(frontier) > 0; depth++ {
+		var next []int
+		for _, x := range frontier {
+			for _, y := range g.Neighbors(x) {
+				if x == u && y == v {
+					continue // skip the direct edge
+				}
+				if _, seen := dist[y]; seen {
+					continue
+				}
+				if y == v {
+					return true
+				}
+				dist[y] = depth + 1
+				next = append(next, y)
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// rebuildWithSwap replaces edges drop1, drop2 with add1, add2 in place by
+// rebuilding the adjacency structure.
+func rebuildWithSwap(g *graph.G, drop1, drop2, add1, add2 [2]int) {
+	edges := g.Edges()
+	*g = *graph.New(g.N())
+	match := func(e, d [2]int) bool {
+		return (e[0] == d[0] && e[1] == d[1]) || (e[0] == d[1] && e[1] == d[0])
+	}
+	for _, e := range edges {
+		if match(e, drop1) || match(e, drop2) {
+			continue
+		}
+		g.MustEdge(e[0], e[1])
+	}
+	g.MustEdge(add1[0], add1[1])
+	g.MustEdge(add2[0], add2[1])
+}

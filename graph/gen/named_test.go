@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("n=%d m=%d, want 10, 15", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 3 {
+			t.Fatalf("node %d has degree %d, want 3", v, g.Deg(v))
+		}
+	}
+	if gi := g.Girth(); gi != 5 {
+		t.Fatalf("girth = %d, want 5", gi)
+	}
+	if !g.IsConnected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	g := MustCirculant(12, []int{1, 3})
+	if g.N() != 12 {
+		t.Fatalf("n = %d, want 12", g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Fatalf("node %d has degree %d, want 4", v, g.Deg(v))
+		}
+	}
+	// Jump n/2 halves the degree contribution.
+	h := MustCirculant(8, []int{4})
+	for v := 0; v < h.N(); v++ {
+		if h.Deg(v) != 1 {
+			t.Fatalf("C_8(4): node %d degree %d, want 1 (perfect matching)", v, h.Deg(v))
+		}
+	}
+}
+
+func TestCirculantErrors(t *testing.T) {
+	if _, err := Circulant(2, []int{1}); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	if _, err := Circulant(10, []int{0}); err == nil {
+		t.Fatal("jump 0 accepted")
+	}
+	if _, err := Circulant(10, []int{6}); err == nil {
+		t.Fatal("jump > n/2 accepted")
+	}
+}
+
+func TestRandomBipartiteRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 3, 5} {
+		g, err := RandomBipartiteRegular(rng, 32, d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v) != d {
+				t.Fatalf("d=%d: node %d degree %d", d, v, g.Deg(v))
+			}
+		}
+		// Bipartite: no edge within a side.
+		n := g.N() / 2
+		for _, e := range g.Edges() {
+			if (e[0] < n) == (e[1] < n) {
+				t.Fatalf("d=%d: edge %v within one side", d, e)
+			}
+		}
+	}
+}
+
+func TestHighGirthRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := HighGirthRegular(rng, 128, 3, 5)
+	if err != nil {
+		t.Fatalf("generation failed: %v", err)
+	}
+	if gi := g.Girth(); gi >= 3 && gi <= 5 {
+		t.Fatalf("girth = %d, want > 5", gi)
+	}
+	// Degrees preserved by the swaps.
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 3 {
+			t.Fatalf("node %d degree %d, want 3", v, g.Deg(v))
+		}
+	}
+}
+
+func TestHighGirthPreservesSimplicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := HighGirthRegular(rng, 64, 4, 4)
+	if err != nil {
+		t.Skipf("girth target infeasible at this size: %v", err)
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges() {
+		if e[0] == e[1] {
+			t.Fatalf("self loop %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}

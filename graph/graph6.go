@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Graph6 support: the compact ASCII format of nauty/geng, enabling
+// interchange with the standard combinatorics toolchain (e.g. validating
+// against geng's exhaustive graph catalogs). Only the short form (n <= 62)
+// and the 4-byte form (n <= 258047) are implemented; directed and sparse6
+// variants are not.
+
+// ToGraph6 encodes g in graph6 format.
+func ToGraph6(g *G) (string, error) {
+	n := g.N()
+	var sb strings.Builder
+	switch {
+	case n <= 62:
+		sb.WriteByte(byte(n + 63))
+	case n <= 258047:
+		sb.WriteByte(126)
+		sb.WriteByte(byte((n>>12)&63 + 63))
+		sb.WriteByte(byte((n>>6)&63 + 63))
+		sb.WriteByte(byte(n&63 + 63))
+	default:
+		return "", fmt.Errorf("graph6: n=%d too large for this encoder", n)
+	}
+	// Upper-triangle bits x(u,v) for v = 1..n-1, u = 0..v-1, packed into
+	// 6-bit groups, MSB first, each group offset by 63.
+	var bits []bool
+	for v := 1; v < n; v++ {
+		for u := 0; u < v; u++ {
+			bits = append(bits, g.HasEdge(u, v))
+		}
+	}
+	for len(bits)%6 != 0 {
+		bits = append(bits, false)
+	}
+	for i := 0; i < len(bits); i += 6 {
+		b := 0
+		for j := 0; j < 6; j++ {
+			b <<= 1
+			if bits[i+j] {
+				b |= 1
+			}
+		}
+		sb.WriteByte(byte(b + 63))
+	}
+	return sb.String(), nil
+}
+
+// FromGraph6 decodes a graph6 string.
+func FromGraph6(s string) (*G, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("graph6: empty input")
+	}
+	data := []byte(strings.TrimSpace(s))
+	for _, b := range data {
+		if b < 63 || b > 126 {
+			return nil, fmt.Errorf("graph6: byte %q out of range", b)
+		}
+	}
+	var n, off int
+	switch {
+	case data[0] != 126:
+		n = int(data[0] - 63)
+		off = 1
+	case len(data) >= 4 && data[1] != 126:
+		n = int(data[1]-63)<<12 | int(data[2]-63)<<6 | int(data[3]-63)
+		off = 4
+	default:
+		return nil, fmt.Errorf("graph6: unsupported large-n header")
+	}
+	need := (n*(n-1)/2 + 5) / 6
+	if len(data)-off != need {
+		return nil, fmt.Errorf("graph6: n=%d needs %d payload bytes, got %d", n, need, len(data)-off)
+	}
+	g := New(n)
+	bit := 0
+	for v := 1; v < n; v++ {
+		for u := 0; u < v; u++ {
+			byteIdx := off + bit/6
+			shift := 5 - bit%6
+			if (data[byteIdx]-63)>>shift&1 == 1 {
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, fmt.Errorf("graph6: %w", err)
+				}
+			}
+			bit++
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known vector from nauty's formats.txt: the graph on 5 vertices with
+// edges 0-2, 0-4, 1-3, 3-4 is "DQc".
+func TestGraph6KnownVectors(t *testing.T) {
+	g := New(5)
+	g.MustEdge(0, 2)
+	g.MustEdge(0, 4)
+	g.MustEdge(1, 3)
+	g.MustEdge(3, 4)
+	s, err := ToGraph6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "DQc" {
+		t.Fatalf("nauty example encodes to %q, want \"DQc\"", s)
+	}
+	back, err := FromGraph6("DQc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 5 || back.M() != 4 {
+		t.Fatalf("decoded n=%d m=%d, want 5, 4", back.N(), back.M())
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("decoded graph missing edge %v", e)
+		}
+	}
+
+	// The empty graph on 0 nodes is "?" (63).
+	empty, err := ToGraph6(New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != "?" {
+		t.Fatalf("K0 encodes to %q, want \"?\"", empty)
+	}
+	// K2 is "A_".
+	k2 := New(2)
+	k2.MustEdge(0, 1)
+	if s, _ := ToGraph6(k2); s != "A_" {
+		t.Fatalf("K2 encodes to %q, want \"A_\"", s)
+	}
+}
+
+func TestGraph6RoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := quickGraph(rng, 30)
+		s, err := ToGraph6(g)
+		if err != nil {
+			return false
+		}
+		h, err := FromGraph6(s)
+		if err != nil || h.N() != g.N() || h.M() != g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !h.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraph6LargeN(t *testing.T) {
+	// The 4-byte header kicks in above n=62.
+	g := New(100)
+	for i := 0; i+1 < 100; i++ {
+		g.MustEdge(i, i+1)
+	}
+	s, err := ToGraph6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FromGraph6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 100 || h.M() != 99 {
+		t.Fatalf("n=%d m=%d, want 100, 99", h.N(), h.M())
+	}
+}
+
+func TestGraph6Errors(t *testing.T) {
+	if _, err := FromGraph6(""); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := FromGraph6("D"); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := FromGraph6("\x1f"); err == nil {
+		t.Fatal("out-of-range byte accepted")
+	}
+}

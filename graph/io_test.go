@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := New(6)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	g.MustEdge(4, 5)
+	g.MustEdge(0, 5)
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", got.N(), got.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !got.HasEdge(e[0], e[1]) {
+			t.Fatalf("round trip lost edge %v", e)
+		}
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n# comment\n\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4, 3", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListIsolatedNodes(t *testing.T) {
+	// Header declares more nodes than appear in edges.
+	g, err := ReadEdgeList(strings.NewReader("n 10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 10, 1", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"id beyond n", "n 2\n0 5\n"},
+		{"negative id", "0 -1\n"},
+		{"malformed line", "0 1 2\n"},
+		{"bad header", "n x\n"},
+		{"self loop", "3 3\n"},
+		{"duplicate edge", "0 1\n1 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("input %q accepted, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestWriteEdgeListEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, New(3)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d, want 3, 0", g.N(), g.M())
+	}
+}

@@ -1,0 +1,76 @@
+package graph
+
+// Power returns G^k: same node set, an edge between u and v iff their
+// distance in g is between 1 and k. Power(1) is a copy of g.
+func (g *G) Power(k int) *G {
+	p := New(g.N())
+	if k <= 0 {
+		return p
+	}
+	for v := 0; v < g.N(); v++ {
+		res := g.BFSLimited(v, k)
+		for _, u := range res.Order {
+			if u > v && res.Dist[u] >= 1 {
+				p.MustEdge(v, u)
+			}
+		}
+	}
+	return p
+}
+
+// DistanceRangeGraph returns the graph H[lo, hi] of the shattering lemma:
+// same node set, an edge between u and v iff lo <= dist_g(u, v) <= hi.
+func (g *G) DistanceRangeGraph(lo, hi int) *G {
+	p := New(g.N())
+	if hi < lo || hi <= 0 {
+		return p
+	}
+	for v := 0; v < g.N(); v++ {
+		res := g.BFSLimited(v, hi)
+		for _, u := range res.Order {
+			if u > v && res.Dist[u] >= lo {
+				p.MustEdge(v, u)
+			}
+		}
+	}
+	return p
+}
+
+// Quotient builds a "virtual" graph over groups of nodes: one virtual node
+// per group; two groups are adjacent iff they share a node of g or are
+// joined by an edge of g. This is exactly the construction of the virtual
+// graph G_DCC in phase (1) of the randomized algorithm, and of cluster
+// graphs in network decompositions.
+//
+// groups may overlap. The returned graph has len(groups) nodes.
+func Quotient(g *G, groups [][]int) *G {
+	q := New(len(groups))
+	owner := make(map[int][]int) // node -> group indices containing it
+	for gi, grp := range groups {
+		for _, v := range grp {
+			owner[v] = append(owner[v], gi)
+		}
+	}
+	addEdge := func(a, b int) {
+		if a != b && !q.HasEdge(a, b) {
+			q.MustEdge(a, b)
+		}
+	}
+	// Shared nodes.
+	for _, gis := range owner {
+		for i := 0; i < len(gis); i++ {
+			for j := i + 1; j < len(gis); j++ {
+				addEdge(gis[i], gis[j])
+			}
+		}
+	}
+	// Edges of g between groups.
+	for _, e := range g.Edges() {
+		for _, a := range owner[e[0]] {
+			for _, b := range owner[e[1]] {
+				addEdge(a, b)
+			}
+		}
+	}
+	return q
+}

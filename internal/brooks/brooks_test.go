@@ -1,0 +1,240 @@
+package brooks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacolor/graph"
+	"deltacolor/graph/gen"
+	"deltacolor/verify"
+)
+
+// greedyAllBut colors every node except v greedily with delta colors using
+// the Brooks slack heuristic: process nodes by decreasing BFS distance
+// from v, so every processed node has an unprocessed neighbor (towards v)
+// and therefore a free color among delta.
+func greedyAllBut(t *testing.T, g *graph.G, v, delta int) []int {
+	t.Helper()
+	colors := make([]int, g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	res := g.BFS(v)
+	order := append([]int(nil), res.Order...)
+	// Reverse BFS order: farthest first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, u := range order {
+		if u == v {
+			continue
+		}
+		used := make([]bool, delta)
+		for _, w := range g.Neighbors(u) {
+			if c := colors[w]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := -1
+		for x := 0; x < delta; x++ {
+			if !used[x] {
+				c = x
+				break
+			}
+		}
+		if c < 0 {
+			t.Fatalf("greedy setup failed at node %d", u)
+		}
+		colors[u] = c
+	}
+	return colors
+}
+
+func TestSearchRadius(t *testing.T) {
+	if r := SearchRadius(1024, 4); r <= 0 {
+		t.Fatal("positive radius expected")
+	}
+	if SearchRadius(10, 2) != 1 || SearchRadius(1, 5) != 1 {
+		t.Fatal("degenerate inputs")
+	}
+	// Monotone in n.
+	if SearchRadius(1<<20, 4) < SearchRadius(1<<10, 4) {
+		t.Fatal("radius should grow with n")
+	}
+}
+
+func TestFixOneFreeColor(t *testing.T) {
+	// Star K1,3 with Δ=3: center uncolored, leaves all color 0 -> center
+	// has a free color immediately.
+	g := graph.New(4)
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	g.MustEdge(0, 3)
+	partial := []int{-1, 0, 0, 0}
+	res, err := FixOne(g, partial, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeFree || res.Colors[0] == 0 {
+		t.Fatalf("mode=%v color=%d", res.Mode, res.Colors[0])
+	}
+	if err := verify.DeltaColoring(g, res.Colors, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixOneAlreadyColoredErrors(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := FixOne(g, []int{0, 1, 0, 1}, 0, 3); err == nil {
+		t.Fatal("want error for colored node")
+	}
+}
+
+func TestFixOneOnRandomRegular(t *testing.T) {
+	for _, d := range []int{3, 4, 5} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed*10 + int64(d)))
+			g, err := gen.RandomRegular(rng, 64, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := rng.Intn(64)
+			partial := greedyAllBut(t, g, v, d)
+			res, err := FixOne(g, partial, v, d)
+			if err != nil {
+				t.Fatalf("d=%d seed=%d: %v", d, seed, err)
+			}
+			if err := verify.DeltaColoring(g, res.Colors, d); err != nil {
+				t.Fatalf("d=%d seed=%d: %v", d, seed, err)
+			}
+			bound := SearchRadius(64, d)
+			if res.Radius > 3*bound {
+				t.Fatalf("radius %d exceeds 3x bound %d", res.Radius, bound)
+			}
+		}
+	}
+}
+
+func TestFixOneRadiusWithinTheorem5Bound(t *testing.T) {
+	// Theorem 5: recoloring confined to the 2·log_{Δ-1} n neighborhood.
+	// Our implementation may extend by the DCC diameter; assert <= 3x.
+	rng := rand.New(rand.NewSource(99))
+	g, err := gen.RandomRegular(rng, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := SearchRadius(512, 4)
+	for trial := 0; trial < 10; trial++ {
+		v := rng.Intn(512)
+		partial := greedyAllBut(t, g, v, 4)
+		res, err := FixOne(g, partial, v, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Radius > 3*bound {
+			t.Fatalf("trial %d: radius %d > 3*%d", trial, res.Radius, bound)
+		}
+		if err := verify.DeltaColoring(g, res.Colors, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFixOneLowDegreeEscape(t *testing.T) {
+	// A 3-regular-ish graph with one degree-2 node: the token can always
+	// escape to it.
+	g := gen.Grid(4, 4) // corners have degree 2
+	delta := g.MaxDegree()
+	v := 5 // interior node
+	partial := greedyAllBut(t, g, v, delta)
+	res, err := FixOne(g, partial, v, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.DeltaColoring(g, res.Colors, delta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixOneInputNotMutated(t *testing.T) {
+	g := gen.Hypercube(3)
+	v := 0
+	partial := greedyAllBut(t, g, v, 3)
+	snapshot := append([]int(nil), partial...)
+	if _, err := FixOne(g, partial, v, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range partial {
+		if partial[i] != snapshot[i] {
+			t.Fatal("FixOne mutated its input")
+		}
+	}
+}
+
+// Property: FixOne completes arbitrary greedy partial colorings on random
+// regular graphs, never using color >= Δ.
+func TestFixOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24 + 2*rng.Intn(30)
+		d := 3 + rng.Intn(3)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := gen.RandomRegular(rng, n, d)
+		if err != nil {
+			return true // skip rare sampling failure
+		}
+		v := rng.Intn(n)
+		colors := make([]int, n)
+		for i := range colors {
+			colors[i] = -1
+		}
+		res := g.BFS(v)
+		order := append([]int(nil), res.Order...)
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, u := range order {
+			if u == v {
+				continue
+			}
+			used := make([]bool, d)
+			for _, w := range g.Neighbors(u) {
+				if c := colors[w]; c >= 0 {
+					used[c] = true
+				}
+			}
+			c := -1
+			for x := 0; x < d; x++ {
+				if !used[x] {
+					c = x
+					break
+				}
+			}
+			if c < 0 {
+				return true // greedy setup impossible; skip
+			}
+			colors[u] = c
+		}
+		out, err := FixOne(g, colors, v, d)
+		if err != nil {
+			return false
+		}
+		return verify.DeltaColoring(g, out.Colors, d) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFree.String() != "free" || ModeDCC.String() != "dcc" ||
+		ModeLowDegree.String() != "low-degree" || ModeFallback.String() != "fallback" {
+		t.Fatal("mode strings")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode should still render")
+	}
+}

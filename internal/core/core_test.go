@@ -1,0 +1,427 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"deltacolor/graph"
+	"deltacolor/graph/gen"
+	"deltacolor/local"
+	"deltacolor/verify"
+)
+
+func TestCheckNicePreconditions(t *testing.T) {
+	tests := []struct {
+		name    string
+		g       *graph.G
+		wantErr error
+	}{
+		{"complete K5", gen.Complete(5), ErrComplete},
+		{"complete K4", gen.Complete(4), ErrComplete},
+		{"odd cycle C5", gen.Cycle(5), ErrDegreeTooSmall},
+		{"even cycle C6", gen.Cycle(6), ErrDegreeTooSmall},
+		{"path P8", gen.Path(8), ErrDegreeTooSmall},
+		{"torus 4x4", gen.Torus(4, 4), nil},
+		{"hypercube d=3", gen.Hypercube(3), nil},
+		{"grid 5x5", gen.Grid(5, 5), nil},
+		{"complete bipartite K33", gen.CompleteBipartite(3, 3), nil},
+		{"clique chain", gen.CliqueChain(4, 4), nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CheckNice(tc.g, 3)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("CheckNice: unexpected error %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("CheckNice: got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckNiceDisconnected(t *testing.T) {
+	// Two nice components: accepted.
+	g := graph.New(32)
+	t1 := gen.Torus(4, 4)
+	for _, e := range t1.Edges() {
+		g.MustEdge(e[0], e[1])
+	}
+	for _, e := range t1.Edges() {
+		g.MustEdge(e[0]+16, e[1]+16)
+	}
+	if _, err := CheckNice(g, 3); err != nil {
+		t.Fatalf("two nice components rejected: %v", err)
+	}
+
+	// A nice component plus a clique component: rejected with ErrComplete.
+	// The clique must match Δ+1 of the whole graph to be un-Δ-colorable.
+	h := graph.New(16 + 5)
+	for _, e := range t1.Edges() {
+		h.MustEdge(e[0], e[1])
+	}
+	k := gen.Complete(5)
+	for _, e := range k.Edges() {
+		h.MustEdge(e[0]+16, e[1]+16)
+	}
+	// Δ(torus) = 4, Δ(K5) = 4, so Δ+1 = 5 = |K5|: the K5 component is a
+	// Δ+1-clique and cannot be Δ-colored.
+	if _, err := CheckNice(h, 3); !errors.Is(err, ErrComplete) {
+		t.Fatalf("torus+K5: got %v, want ErrComplete", err)
+	}
+}
+
+func TestLayeringDistances(t *testing.T) {
+	// On a path 0-1-2-3-4 embedded in a star-ish graph the layering must
+	// equal BFS distance from the base.
+	g := gen.Grid(4, 4)
+	base := []int{0}
+	layer := Layering(g, base, nil)
+	if layer[0] != 0 {
+		t.Fatalf("base node layer = %d, want 0", layer[0])
+	}
+	// Node 15 (opposite corner) is at Manhattan distance 6 in a 4x4 grid.
+	if layer[15] != 6 {
+		t.Fatalf("corner layer = %d, want 6", layer[15])
+	}
+	// Every non-base node must have a neighbor exactly one layer below.
+	for v := 0; v < g.N(); v++ {
+		if layer[v] <= 0 {
+			continue
+		}
+		found := false
+		for _, u := range g.Neighbors(v) {
+			if layer[u] == layer[v]-1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("node %d at layer %d has no neighbor at layer %d", v, layer[v], layer[v]-1)
+		}
+	}
+}
+
+func TestLayeringRestricted(t *testing.T) {
+	g := gen.Grid(3, 3)
+	restrict := make([]bool, g.N())
+	// Restrict to the top row {0,1,2}.
+	restrict[0], restrict[1], restrict[2] = true, true, true
+	layer := Layering(g, []int{0}, restrict)
+	if layer[0] != 0 || layer[1] != 1 || layer[2] != 2 {
+		t.Fatalf("restricted layering on row: got %v %v %v, want 0 1 2", layer[0], layer[1], layer[2])
+	}
+	for v := 3; v < g.N(); v++ {
+		if layer[v] != -1 {
+			t.Fatalf("non-restricted node %d got layer %d, want -1", v, layer[v])
+		}
+	}
+}
+
+func TestDetRulingSetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{2, 3, 5} {
+		for trial := 0; trial < 3; trial++ {
+			g := gen.MustRandomRegular(rng, 128, 4)
+			rs := DetRulingSetCompute(g, nil, k)
+			// Independence at distance k: any two members are >= k apart.
+			var members []int
+			for v := 0; v < g.N(); v++ {
+				if rs.InSet[v] {
+					members = append(members, v)
+				}
+			}
+			if len(members) == 0 {
+				t.Fatalf("k=%d: empty ruling set", k)
+			}
+			for _, v := range members {
+				d, _ := g.MultiSourceDist([]int{v})
+				for _, u := range members {
+					if u != v && d[u] >= 0 && d[u] < k {
+						t.Fatalf("k=%d: members %d,%d at distance %d < k", k, v, u, d[u])
+					}
+				}
+			}
+			// Domination: every node within Beta of the set.
+			d, _ := g.MultiSourceDist(members)
+			for v := 0; v < g.N(); v++ {
+				if d[v] < 0 || d[v] > rs.Beta {
+					t.Fatalf("k=%d: node %d at distance %d > beta=%d", k, v, d[v], rs.Beta)
+				}
+			}
+		}
+	}
+}
+
+func TestDetRulingSetActiveSubset(t *testing.T) {
+	g := gen.Grid(6, 6)
+	active := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 2 {
+		active[v] = true
+	}
+	rs := DetRulingSetCompute(g, active, 3)
+	for v := 0; v < g.N(); v++ {
+		if rs.InSet[v] && !active[v] {
+			t.Fatalf("inactive node %d in ruling set", v)
+		}
+	}
+}
+
+// colorCheck verifies a Result against the source graph.
+func colorCheck(t *testing.T, g *graph.G, res *Result) {
+	t.Helper()
+	if err := verify.DeltaColoring(g, res.Colors, res.Delta); err != nil {
+		t.Fatalf("invalid coloring: %v", err)
+	}
+	if res.Rounds <= 0 {
+		t.Fatalf("rounds = %d, want > 0", res.Rounds)
+	}
+	if res.Delta != g.MaxDegree() {
+		t.Fatalf("delta = %d, want %d", res.Delta, g.MaxDegree())
+	}
+}
+
+func TestRandomizedOnFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	families := []struct {
+		name string
+		g    *graph.G
+	}{
+		{"torus 8x8", gen.Torus(8, 8)},
+		{"hypercube d=4", gen.Hypercube(4)},
+		{"grid 8x8", gen.Grid(8, 8)},
+		{"random 4-regular n=256", gen.MustRandomRegular(rng, 256, 4)},
+		{"random 3-regular n=128", gen.MustRandomRegular(rng, 128, 3)},
+		{"random 8-regular n=128", gen.MustRandomRegular(rng, 128, 8)},
+		{"complete bipartite K44", gen.CompleteBipartite(4, 4)},
+		{"clique chain 5x4", gen.CliqueChain(5, 4)},
+		{"gnp capped", gen.GNPMaxDeg(rng, 200, 0.03, 6)},
+	}
+	for _, tc := range families {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := CheckNice(tc.g, 3); err != nil {
+				t.Skipf("family not nice: %v", err)
+			}
+			res, err := Randomized(tc.g, RandOptions{Seed: 1})
+			if err != nil {
+				t.Fatalf("Randomized: %v", err)
+			}
+			colorCheck(t, tc.g, res)
+		})
+	}
+}
+
+func TestRandomizedSmallDeltaMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := gen.MustRandomRegular(rng, 512, 3)
+	res, err := Randomized(g, RandOptions{Seed: 3, SmallDelta: true})
+	if err != nil {
+		t.Fatalf("Randomized small-Δ: %v", err)
+	}
+	colorCheck(t, g, res)
+	if res.Delta != 3 {
+		t.Fatalf("delta = %d, want 3", res.Delta)
+	}
+}
+
+func TestRandomizedDeterministicLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.MustRandomRegular(rng, 256, 5)
+	res, err := Randomized(g, RandOptions{Seed: 5, ListMode: ListColorDeterministic})
+	if err != nil {
+		t.Fatalf("Randomized det lists: %v", err)
+	}
+	colorCheck(t, g, res)
+}
+
+func TestRandomizedManySeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	g := gen.MustRandomRegular(rng, 200, 4)
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := Randomized(g, RandOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		colorCheck(t, g, res)
+	}
+}
+
+func TestRandomizedRejectsBadInputs(t *testing.T) {
+	if _, err := Randomized(gen.Complete(6), RandOptions{}); !errors.Is(err, ErrComplete) {
+		t.Fatalf("K6: got %v, want ErrComplete", err)
+	}
+	if _, err := Randomized(gen.Cycle(7), RandOptions{}); !errors.Is(err, ErrDegreeTooSmall) {
+		t.Fatalf("C7: got %v, want ErrDegreeTooSmall", err)
+	}
+}
+
+func TestDeterministicOnFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	families := []struct {
+		name string
+		g    *graph.G
+	}{
+		{"torus 8x8", gen.Torus(8, 8)},
+		{"hypercube d=4", gen.Hypercube(4)},
+		{"random 4-regular n=256", gen.MustRandomRegular(rng, 256, 4)},
+		{"random 6-regular n=128", gen.MustRandomRegular(rng, 128, 6)},
+		{"clique chain 6x5", gen.CliqueChain(6, 5)},
+	}
+	for _, tc := range families {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Deterministic(tc.g, 1)
+			if err != nil {
+				t.Fatalf("Deterministic: %v", err)
+			}
+			colorCheck(t, tc.g, res)
+		})
+	}
+}
+
+func TestDeterministicIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.MustRandomRegular(rng, 128, 4)
+	res1, err := Deterministic(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Deterministic(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Rounds != res2.Rounds {
+		t.Fatalf("rounds differ across identical runs: %d vs %d", res1.Rounds, res2.Rounds)
+	}
+	for v := range res1.Colors {
+		if res1.Colors[v] != res2.Colors[v] {
+			t.Fatalf("colors differ at node %d: %d vs %d", v, res1.Colors[v], res2.Colors[v])
+		}
+	}
+}
+
+func TestAutoParamsDefaults(t *testing.T) {
+	o := RandOptions{}.AutoParams(1<<12, 4)
+	if o.Backoff != 6 {
+		t.Fatalf("Δ=4 backoff = %d, want 6", o.Backoff)
+	}
+	if o.R <= 0 {
+		t.Fatalf("R = %d, want > 0", o.R)
+	}
+	if o.P <= 0 || o.P > 0.05 {
+		t.Fatalf("P = %v, want in (0, 0.05]", o.P)
+	}
+
+	o3 := RandOptions{}.AutoParams(1<<12, 3)
+	if o3.Backoff != 12 {
+		t.Fatalf("Δ=3 backoff = %d, want 12", o3.Backoff)
+	}
+	if o3.R%6 != 0 {
+		t.Fatalf("Δ=3 R = %d, want a multiple of 6 (Lemma 14)", o3.R)
+	}
+
+	// Large Δ uses the constant radius; very large Δ a smaller constant.
+	oL := RandOptions{}.AutoParams(1<<12, 8)
+	if oL.R != 4 {
+		t.Fatalf("Δ=8 R = %d, want 4", oL.R)
+	}
+	oXL := RandOptions{}.AutoParams(1<<12, 16)
+	if oXL.R != 2 {
+		t.Fatalf("Δ=16 R = %d, want 2", oXL.R)
+	}
+
+	// Explicit values survive.
+	oX := RandOptions{R: 8, Backoff: 10, P: 0.01}.AutoParams(1<<12, 4)
+	if oX.R != 8 || oX.Backoff != 10 || oX.P != 0.01 {
+		t.Fatalf("explicit params overridden: %+v", oX)
+	}
+}
+
+func TestRepairUncolored(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.MustRandomRegular(rng, 64, 4)
+	delta := 4
+	// Start from a valid coloring and erase a scattered subset.
+	res, err := Randomized(g, RandOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := append([]int(nil), res.Colors...)
+	erased := 0
+	for v := 0; v < g.N(); v += 7 {
+		colors[v] = -1
+		erased++
+	}
+	acct := &local.Accountant{}
+	fixed, err := RepairUncolored(g, colors, delta, acct)
+	if err != nil {
+		t.Fatalf("RepairUncolored: %v", err)
+	}
+	if fixed != erased {
+		t.Fatalf("fixed %d nodes, want %d", fixed, erased)
+	}
+	if err := verify.DeltaColoring(g, colors, delta); err != nil {
+		t.Fatalf("repair left invalid coloring: %v", err)
+	}
+	if acct.Total() <= 0 {
+		t.Fatalf("repair charged %d rounds, want > 0", acct.Total())
+	}
+}
+
+func TestLayerColorerReverseOrder(t *testing.T) {
+	g := gen.Torus(6, 6)
+	delta := g.MaxDegree()
+	acct := &local.Accountant{}
+	lc := NewLayerColorer(g, delta, ListColorRandomized, 3, acct)
+
+	// Layer by distance from node 0; layer 0 = {0}.
+	layer := Layering(g, []int{0}, nil)
+	s := 0
+	for _, l := range layer {
+		if l > s {
+			s = l
+		}
+	}
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = -1
+	}
+	rep, err := lc.ColorLayersReverse(colors, layer, s, "t")
+	if err != nil {
+		t.Fatalf("ColorLayersReverse: %v", err)
+	}
+	if rep != 0 {
+		t.Fatalf("repairs = %d, want 0 (every layer is a deg+1 instance)", rep)
+	}
+	// All nodes except layer 0 must be colored, properly.
+	for v := 0; v < g.N(); v++ {
+		if layer[v] >= 1 && colors[v] < 0 {
+			t.Fatalf("node %d (layer %d) left uncolored", v, layer[v])
+		}
+	}
+	if err := verify.PartialColoring(g, colors, delta); err != nil {
+		t.Fatalf("partial coloring invalid: %v", err)
+	}
+}
+
+func TestResultPhasesSumToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gen.MustRandomRegular(rng, 128, 4)
+	res, err := Randomized(g, RandOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, p := range res.Phases {
+		if p.Rounds < 0 {
+			t.Fatalf("phase %q has negative rounds %d", p.Name, p.Rounds)
+		}
+		sum += p.Rounds
+	}
+	if sum != res.Rounds {
+		t.Fatalf("phase sum %d != total %d", sum, res.Rounds)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"deltacolor/graph"
+	"deltacolor/internal/brooks"
+	"deltacolor/internal/dist"
+	"deltacolor/local"
+)
+
+// DeterministicNetDec runs the Theorem 21 algorithm ([PS95, Theorem 5],
+// reproved in the paper via the layering technique):
+//
+//	(1) compute a network decomposition (our LDD substitution for the
+//	    2^O(√log n) deterministic decomposition of [PS92], see DESIGN.md §3);
+//	(2) build the base layer B0 as an (R, ·) ruling set computed greedily
+//	    over the decomposition's color classes, R chosen so B0 members'
+//	    Brooks recoloring balls are disjoint;
+//	(3) peel layers B_1..B_s by distance to B0 and re-color them in reverse
+//	    order, each a (deg+1)-list instance, solving the instances color
+//	    class by color class over the decomposition;
+//	(4) color B0 via the distributed Brooks theorem (Theorem 5).
+//
+// Compared to Deterministic (Theorem 4), the ruling set and the list
+// colorings ride on the decomposition instead of the AGLP recursion and
+// Linial color classes; experiment E8 compares the two round counts.
+func DeterministicNetDec(g *graph.G, seed int64) (*Result, error) {
+	delta, err := CheckNice(g, 3)
+	if err != nil {
+		return nil, err
+	}
+	acct := &local.Accountant{}
+	n := g.N()
+
+	// (1) Network decomposition with beta = Θ(1/log n).
+	beta := 1.0 / math.Max(1, math.Log(float64(n+2)))
+	dec := dist.Decompose(g, nil, beta, seed)
+	if err := dist.VerifyDecomposition(g, nil, dec); err != nil {
+		return nil, fmt.Errorf("netdec variant: %w", err)
+	}
+	acct.Charge("decomposition", dec.Rounds)
+
+	// (2) B0: greedy (R, ·) ruling set over decomposition color classes.
+	// Iterating one class costs one cluster-graph round = 2·MaxRadius+1
+	// G-rounds, plus a distance-R probe per chosen candidate batch.
+	rB := brooks.SearchRadius(n, delta)
+	bigR := 6*rB + 3
+	base := rulingSetViaDecomposition(g, dec, bigR)
+	acct.Charge("ruling-set", dec.NumColors*(2*dec.MaxRadius+1+bigR))
+	if len(base) == 0 {
+		base = []int{0}
+	}
+
+	// (3) Layers by distance to B0, colored in reverse.
+	layer := Layering(g, base, nil)
+	s := 0
+	for _, l := range layer {
+		if l > s {
+			s = l
+		}
+	}
+	acct.Charge("layering", s)
+
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = -1
+	}
+	lc := NewLayerColorer(g, delta, ListColorDeterministic, seed, acct)
+	repairs, err := lc.ColorLayersReverse(colors, layer, s, "layers")
+	if err != nil {
+		return nil, err
+	}
+
+	// (4) B0 via Theorem 5 (independent recolorings; spacing >= bigR).
+	maxRounds := 0
+	for _, v := range base {
+		if colors[v] >= 0 {
+			continue
+		}
+		res, err := brooks.FixOne(g, colors, v, delta)
+		if err != nil {
+			return nil, fmt.Errorf("netdec variant: color B0 node %d: %w", v, err)
+		}
+		copy(colors, res.Colors)
+		if res.Rounds > maxRounds {
+			maxRounds = res.Rounds
+		}
+	}
+	acct.Charge("brooks-B0", maxRounds)
+
+	fixed, err := RepairUncolored(g, colors, delta, acct)
+	if err != nil {
+		return nil, err
+	}
+	repairs += fixed
+
+	if err := dist.VerifyColoring(g, colors); err != nil {
+		return nil, fmt.Errorf("netdec variant: %w", err)
+	}
+	return &Result{
+		Colors:  colors,
+		Delta:   delta,
+		Rounds:  acct.Total(),
+		Phases:  acct.Phases(),
+		Repairs: repairs,
+	}, nil
+}
+
+// rulingSetViaDecomposition selects cluster centers class by class,
+// keeping a center only when no previously chosen node lies within
+// distance < bigR. The result is an independent-at-distance-bigR set; it
+// need not dominate the graph (unreached nodes end up in high layers,
+// which the layering pass still covers because Layering assigns -1 only
+// to disconnected nodes — callers treat the whole reachable set).
+func rulingSetViaDecomposition(g *graph.G, dec *dist.Decomposition, bigR int) []int {
+	var base []int
+	chosen := make([]bool, g.N())
+	for class := 0; class < dec.NumColors; class++ {
+		for ci, center := range dec.Centers {
+			if dec.ClusterColor[ci] != class {
+				continue
+			}
+			ok := true
+			res := g.BFSLimited(center, bigR-1)
+			for _, u := range res.Order {
+				if chosen[u] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen[center] = true
+				base = append(base, center)
+			}
+		}
+	}
+	return base
+}

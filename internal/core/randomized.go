@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deltacolor/graph"
+	"deltacolor/internal/dist"
+	"deltacolor/internal/gallai"
+	"deltacolor/local"
+)
+
+// RandOptions parameterizes the randomized Δ-coloring algorithm of
+// Section 4. Zero values select the paper's defaults (computed from n and
+// Δ by AutoParams).
+type RandOptions struct {
+	Seed       int64
+	R          int           // DCC-removal radius r (0 = auto)
+	Backoff    int           // marking backoff distance b (0 = auto: 6 for Δ>=4, 12 for Δ=3)
+	P          float64       // selection probability (0 = auto: Δ^-b clamped to practical scale)
+	ListMode   ListColorMode // list-coloring subroutine (0 = randomized)
+	SmallDelta bool          // force the small-Δ parameterization r = Θ(log log n)
+}
+
+// AutoParams fills the zero fields of o per the paper's choices: the
+// large-Δ version (Theorem 3) uses a constant radius r and b = 6, p = Δ^-6;
+// the small-Δ version (Theorem 1) uses r = Θ(log log n) and b = 12 for
+// Δ = 3. p is clamped from below at laptop scale so the marking process
+// fires on feasible n (the paper's asymptotic constants assume enormous n;
+// see DESIGN.md §3).
+func (o RandOptions) AutoParams(n, delta int) RandOptions {
+	if o.Backoff == 0 {
+		if delta == 3 {
+			o.Backoff = 12
+		} else {
+			o.Backoff = 6
+		}
+	}
+	if o.R == 0 {
+		loglog := math.Log(math.Max(2, math.Log(math.Max(2, float64(n)))))
+		if o.SmallDelta || delta <= 5 {
+			// r = Θ(log log n), rounded up to a multiple of 6 (Lemma 14).
+			r := int(math.Ceil(loglog))
+			o.R = ((r + 5) / 6) * 6
+			if o.R < 6 {
+				o.R = 6
+			}
+		} else if delta <= 10 {
+			o.R = 4 // the paper's O(1); 4 keeps 2r-ball collection cheap
+		} else {
+			// For large Δ a radius-4 ball is already the whole graph at
+			// laptop scale; r = 2 is an equally valid choice of the paper's
+			// constant and keeps DCC detection at O(poly Δ) per node.
+			o.R = 2
+		}
+	}
+	if o.P == 0 {
+		p := math.Pow(float64(delta), -float64(o.Backoff))
+		// At laptop scale Δ^-12 never fires. The survival probability of a
+		// selected node against the backoff is ≈ exp(-p·|B_b|), so the
+		// expected number of surviving T-nodes n·p·exp(-p·|B_b|) peaks at
+		// p = 1/|B_b|; clamp from below there. Correctness is unaffected
+		// (any p works), only the tail bounds of Lemma 23 assume the
+		// paper's constant.
+		ball := float64(delta)
+		for i := 1; i < o.Backoff; i++ {
+			ball *= float64(delta - 1)
+			if ball > float64(4*n) {
+				break
+			}
+		}
+		if min := 1.0 / ball; p < min {
+			p = min
+		}
+		if p > 0.05 {
+			p = 0.05
+		}
+		o.P = p
+	}
+	if o.ListMode == 0 {
+		o.ListMode = ListColorRandomized
+	}
+	return o
+}
+
+// Randomized runs the Section 4 algorithm (Theorems 1 and 3):
+//
+//	I   remove degree-choosable components of radius <= r (phases 1–3);
+//	II  shattering: random T-node creation, happy-node layers, small
+//	    leftover components (phases 4–6);
+//	III color the happy layers in reverse (phase 7);
+//	IV  color the DCC layers in reverse and brute-force the base layer
+//	    (phases 8–9).
+//
+// Any node the probabilistic phases fail to cover is completed by the
+// distributed Brooks safety net and counted in Result.Repairs, so the
+// returned coloring is always a valid Δ-coloring on nice graphs.
+func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
+	delta, err := CheckNice(g, 3)
+	if err != nil {
+		return nil, err
+	}
+	o := opts.AutoParams(g.N(), delta)
+	acct := &local.Accountant{}
+	n := g.N()
+	rng := rand.New(rand.NewSource(o.Seed ^ 0x5eed))
+
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = -1
+	}
+	lc := NewLayerColorer(g, delta, o.ListMode, o.Seed, acct)
+
+	// ---- Phase I: remove DCCs of radius <= r (phases 1-3). ----
+	dccs, _, selRounds := gallai.SelectDCCs(g, o.R)
+	acct.Charge("dcc-select", selRounds)
+
+	inB0 := make([]bool, n)
+	var layerB []int
+	sB := 0
+	if len(dccs) > 0 {
+		quot := graph.Quotient(g, dccs)
+		qnet := local.NewNetwork(quot, o.Seed+11)
+		inMIS, misRounds := dist.LubyMIS(qnet, nil)
+		acct.Charge("dcc-ruling-set", misRounds*(2*o.R+1))
+		var base []int
+		for di, d := range dccs {
+			if inMIS[di] {
+				for _, v := range d {
+					if !inB0[v] {
+						inB0[v] = true
+						base = append(base, v)
+					}
+				}
+			}
+		}
+		layerB = Layering(g, base, nil)
+		// Keep only layers 0..sB; beyond that nodes stay in H.
+		sB = 4*o.R + 2
+		for v := range layerB {
+			if layerB[v] > sB {
+				layerB[v] = -1
+			}
+		}
+		acct.Charge("dcc-layers", sB)
+	} else {
+		layerB = make([]int, n)
+		for v := range layerB {
+			layerB[v] = -1
+		}
+	}
+
+	inH := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inH[v] = layerB[v] < 0
+	}
+
+	// ---- Phase II: shattering (phases 4-6). ----
+	sh := runMarking(g, inH, delta, o, rng)
+	acct.Charge("marking", o.Backoff+2)
+	for _, v := range sh.marked {
+		colors[v] = 0 // color one
+	}
+
+	layerC, sC := buildHappyLayers(g, inH, sh, delta, o.R, colors)
+	acct.Charge("happy-layers", 3*o.R)
+
+	// Remaining graph L: H nodes that are neither marked nor in a C layer.
+	inL := make([]bool, n)
+	anyL := false
+	for v := 0; v < n; v++ {
+		if inH[v] && colors[v] < 0 && layerC[v] < 0 {
+			inL[v] = true
+			anyL = true
+		}
+	}
+	repairs := 0
+	if anyL {
+		rep, err := colorSmallComponents(g, inL, colors, delta, o, lc, acct)
+		if err != nil {
+			return nil, err
+		}
+		repairs += rep
+	}
+
+	// ---- Phase III: color happy layers C_{2r}..C_0 (phase 7). ----
+	rep, err := lc.ColorLayersReverse(colors, shiftLayers(layerC), sC+1, "C")
+	if err != nil {
+		return nil, err
+	}
+	repairs += rep
+
+	// ---- Phase IV: color DCC layers B_s..B_1 and base B0 (phases 8-9). ----
+	rep, err = lc.ColorLayersReverse(colors, layerB, sB, "B")
+	if err != nil {
+		return nil, err
+	}
+	repairs += rep
+
+	if len(dccs) > 0 {
+		maxRad := 0
+		for _, d := range dccs {
+			if !allUncolored(colors, d) {
+				continue
+			}
+			lists := gallai.DegreeLists(g, d, colors, delta)
+			sol, err := gallai.BruteListColor(g, d, lists)
+			if err != nil {
+				// Heuristic DCC turned out infeasible against this boundary
+				// (should not happen, Theorem 8); defer to repair.
+				continue
+			}
+			for v, c := range sol {
+				colors[v] = c
+			}
+			if r := gallai.SetRadius(g, d); r > maxRad {
+				maxRad = r
+			}
+		}
+		acct.Charge("B0-bruteforce", 2*maxRad+1)
+	}
+
+	fixed, err := RepairUncolored(g, colors, delta, acct)
+	if err != nil {
+		return nil, err
+	}
+	repairs += fixed
+
+	if err := dist.VerifyColoring(g, colors); err != nil {
+		return nil, fmt.Errorf("randomized: %w", err)
+	}
+	return &Result{
+		Colors:  colors,
+		Delta:   delta,
+		Rounds:  acct.Total(),
+		Phases:  acct.Phases(),
+		Repairs: repairs,
+	}, nil
+}
+
+// shatterState is the outcome of the marking process (phase 4).
+type shatterState struct {
+	selected []bool // survived the backoff and created a T-node
+	marked   []int  // nodes colored with color one
+	isTNode  []bool
+}
+
+// runMarking performs phase (4) on H: every H-node is selected with
+// probability p; a selected node with another selected node within
+// distance b (in H) unselects; survivors pick two random non-adjacent
+// H-neighbors and mark them with color one, becoming T-nodes.
+func runMarking(g *graph.G, inH []bool, delta int, o RandOptions, rng *rand.Rand) *shatterState {
+	n := g.N()
+	sh := &shatterState{
+		selected: make([]bool, n),
+		isTNode:  make([]bool, n),
+	}
+	hGraph := maskGraph(g, inH)
+	var initial []int
+	for v := 0; v < n; v++ {
+		if inH[v] && rng.Float64() < o.P {
+			initial = append(initial, v)
+		}
+	}
+	// Backoff: unselect when another selected node is within distance b.
+	initialSet := make([]bool, n)
+	for _, v := range initial {
+		initialSet[v] = true
+	}
+	for _, v := range initial {
+		keep := true
+		res := hGraph.BFSLimited(v, o.Backoff)
+		for _, u := range res.Order {
+			if u != v && initialSet[u] {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		// Pick two random non-adjacent H-neighbors.
+		nbrs := hNeighbors(g, inH, v)
+		pair, ok := randomNonAdjacentPair(g, nbrs, rng)
+		if !ok {
+			continue // neighborhood is a clique: cannot become a T-node
+		}
+		sh.selected[v] = true
+		sh.isTNode[v] = true
+		sh.marked = append(sh.marked, pair[0], pair[1])
+	}
+	return sh
+}
+
+func hNeighbors(g *graph.G, inH []bool, v int) []int {
+	var out []int
+	for _, u := range g.Neighbors(v) {
+		if inH[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// randomNonAdjacentPair returns two distinct non-adjacent nodes from nbrs,
+// chosen uniformly among such pairs, or ok=false when nbrs is a clique.
+func randomNonAdjacentPair(g *graph.G, nbrs []int, rng *rand.Rand) ([2]int, bool) {
+	var pairs [][2]int
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if !g.HasEdge(nbrs[i], nbrs[j]) {
+				pairs = append(pairs, [2]int{nbrs[i], nbrs[j]})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return [2]int{}, false
+	}
+	return pairs[rng.Intn(len(pairs))], true
+}
+
+// buildHappyLayers performs phase (5): boundary handling, unmarking near
+// the boundary, and the C_0..C_{2r} layers by distance (through uncolored
+// H-nodes) to the anchor set (T-nodes and boundary nodes). Returns the
+// layer array (-1 for unassigned) and the top layer index used.
+func buildHappyLayers(g *graph.G, inH []bool, sh *shatterState, delta, r int, colors []int) ([]int, int) {
+	n := g.N()
+	hGraph := maskGraph(g, inH)
+	// Boundary of H: degree < Δ within H.
+	boundary := make([]bool, n)
+	var boundaryNodes []int
+	for v := 0; v < n; v++ {
+		if inH[v] && hGraph.Deg(v) < delta {
+			boundary[v] = true
+			boundaryNodes = append(boundaryNodes, v)
+		}
+	}
+	// Marked nodes within distance r of the boundary lose their color.
+	if len(boundaryNodes) > 0 {
+		dist, _ := hGraph.MultiSourceDist(boundaryNodes)
+		for v := 0; v < n; v++ {
+			if inH[v] && colors[v] == 0 && dist[v] >= 0 && dist[v] <= r {
+				colors[v] = -1
+			}
+		}
+	}
+	// Anchors: T-nodes that still have two same-colored (color one)
+	// neighbors, plus boundary nodes.
+	var anchors []int
+	for v := 0; v < n; v++ {
+		if !inH[v] || colors[v] >= 0 {
+			continue
+		}
+		if boundary[v] {
+			anchors = append(anchors, v)
+			continue
+		}
+		if sh.isTNode[v] {
+			cnt := 0
+			for _, u := range g.Neighbors(v) {
+				if inH[u] && colors[u] == 0 {
+					cnt++
+				}
+			}
+			if cnt >= 2 {
+				anchors = append(anchors, v)
+			}
+		}
+	}
+	layer := make([]int, n)
+	for v := range layer {
+		layer[v] = -1
+	}
+	if len(anchors) == 0 {
+		return layer, 0
+	}
+	// Distance through uncolored H-nodes only.
+	uncH := make([]bool, n)
+	for v := 0; v < n; v++ {
+		uncH[v] = inH[v] && colors[v] < 0
+	}
+	uncGraph := maskGraph(g, uncH)
+	dist, _ := uncGraph.MultiSourceDist(anchors)
+	top := 0
+	for v := 0; v < n; v++ {
+		if uncH[v] && dist[v] >= 0 && dist[v] <= 2*r {
+			layer[v] = dist[v]
+			if dist[v] > top {
+				top = dist[v]
+			}
+		}
+	}
+	return layer, top
+}
+
+// shiftLayers maps layer i -> i+1 so that C_0 participates in the reverse
+// list-coloring pass (C_0 nodes carry their own slack: T-nodes see two
+// same-colored neighbors, boundary nodes have an uncolored neighbor in the
+// B layers).
+func shiftLayers(layer []int) []int {
+	out := make([]int, len(layer))
+	for v, l := range layer {
+		if l < 0 {
+			out[v] = -1
+		} else {
+			out[v] = l + 1
+		}
+	}
+	return out
+}
+
+func allUncolored(colors []int, nodes []int) bool {
+	for _, v := range nodes {
+		if colors[v] >= 0 {
+			return false
+		}
+	}
+	return true
+}

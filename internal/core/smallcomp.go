@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+
+	"deltacolor/graph"
+	"deltacolor/internal/dist"
+	"deltacolor/internal/gallai"
+	"deltacolor/local"
+)
+
+// colorSmallComponents implements Section 4.3 (phase 6): the components of
+// L — the nodes that neither found a T-node nor sit near the boundary —
+// are shattered-small w.h.p. (Lemmas 23/24) and are colored first:
+//
+//	(1) anchors: free nodes (degree < Δ or an uncolored neighbor outside
+//	    the component) and DCCs of radius <= R_C inside the component;
+//	(2) a ruling set (MIS) over the virtual anchor graph;
+//	(3) layers D_i by distance to the chosen anchors, colored in reverse
+//	    as (deg+1)-list instances;
+//	(4) anchors last: DCCs brute-forced from degree lists, free nodes
+//	    greedily (their outside slack guarantees a free color).
+//
+// Components the heuristics fail to anchor are deferred to the Brooks
+// repair pass; the count is returned.
+func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o RandOptions, lc *LayerColorer, acct *local.Accountant) (int, error) {
+	n := g.N()
+	lGraph := maskGraph(g, inL)
+	comp, count := lGraph.ConnectedComponents()
+	byComp := make([][]int, count)
+	for v := 0; v < n; v++ {
+		if inL[v] {
+			byComp[comp[v]] = append(byComp[comp[v]], v)
+		}
+	}
+
+	// Anchor discovery per component.
+	var groups [][]int
+	groupFree := map[int]bool{} // group index -> is a free-node singleton
+	maxRC := 0
+	deferred := 0
+	maxCompSize := 0
+	for _, nodes := range byComp {
+		if len(nodes) == 0 {
+			continue
+		}
+		if len(nodes) > maxCompSize {
+			maxCompSize = len(nodes)
+		}
+		base := math.Max(2, float64(delta-2))
+		rc := int(math.Ceil(2*math.Log(float64(len(nodes))+1)/math.Log(base))) + 1
+		if rc > maxRC {
+			maxRC = rc
+		}
+		// Free nodes.
+		for _, v := range nodes {
+			if isFreeNode(g, inL, colors, v, delta) {
+				groupFree[len(groups)] = true
+				groups = append(groups, []int{v})
+			}
+		}
+		// DCCs inside the component (searched in the induced subgraph so
+		// the component's own structure decides choosability).
+		sub, orig, err := g.InducedSubgraph(nodes)
+		if err != nil {
+			return deferred, err
+		}
+		subDCCs, _, _ := gallai.SelectDCCs(sub, rc)
+		seen := map[int]bool{}
+		for _, d := range subDCCs {
+			key := minOf(d)
+			if seen[key] {
+				continue // dedupe identical selections cheaply by their min node
+			}
+			seen[key] = true
+			mapped := make([]int, len(d))
+			for i, x := range d {
+				mapped[i] = orig[x]
+			}
+			groups = append(groups, mapped)
+		}
+	}
+	acct.Charge("small-anchors", 2*maxRC)
+	if len(groups) == 0 {
+		// No component could be anchored; defer everything to the Brooks
+		// repair pass.
+		for v := 0; v < n; v++ {
+			if inL[v] {
+				deferred++
+			}
+		}
+		return deferred, nil
+	}
+
+	// Ruling set over the virtual anchor graph.
+	quot := graph.Quotient(lGraph, groups)
+	qnet := local.NewNetwork(quot, o.Seed+23)
+	inMIS, misRounds := dist.LubyMIS(qnet, nil)
+	acct.Charge("small-ruling-set", misRounds*(2*maxRC+1))
+
+	inBase := make([]bool, n)
+	var base []int
+	var chosen []int
+	for gi, grp := range groups {
+		if !inMIS[gi] {
+			continue
+		}
+		chosen = append(chosen, gi)
+		for _, v := range grp {
+			if !inBase[v] {
+				inBase[v] = true
+				base = append(base, v)
+			}
+		}
+	}
+
+	// D layers by distance within L to the chosen anchors.
+	layerD := Layering(g, base, inL)
+	sD := 0
+	for v := 0; v < n; v++ {
+		if !inL[v] {
+			layerD[v] = -1
+			continue
+		}
+		if inBase[v] {
+			layerD[v] = 0
+		}
+		if layerD[v] > sD {
+			sD = layerD[v]
+		}
+		if layerD[v] < 0 {
+			deferred++ // unreachable from any anchor; repaired later
+		}
+	}
+	acct.Charge("small-layers", sD)
+
+	rep, err := lc.ColorLayersReverse(colors, layerD, sD, "D")
+	if err != nil {
+		return deferred, err
+	}
+	deferred += rep
+
+	// Anchors last (independently: MIS groups are pairwise non-adjacent).
+	maxRad := 0
+	for _, gi := range chosen {
+		grp := groups[gi]
+		if groupFree[gi] {
+			v := grp[0]
+			if colors[v] < 0 {
+				if c := freeColorOf(g, colors, v, delta); c >= 0 {
+					colors[v] = c
+				} else {
+					deferred++
+				}
+			}
+			continue
+		}
+		if !allUncolored(colors, grp) {
+			continue
+		}
+		lists := gallai.DegreeLists(g, grp, colors, delta)
+		sol, err := gallai.BruteListColor(g, grp, lists)
+		if err != nil {
+			deferred += len(grp)
+			continue
+		}
+		for v, c := range sol {
+			colors[v] = c
+		}
+		if r := gallai.SetRadius(g, grp); r > maxRad {
+			maxRad = r
+		}
+	}
+	acct.Charge("small-anchors-color", 2*maxRad+1)
+	return deferred, nil
+}
+
+// isFreeNode implements the Section 4.3 definition: degree < Δ, or at
+// least one neighbor outside the component that is not colored with the
+// first color after shattering (i.e. still uncolored).
+func isFreeNode(g *graph.G, inL []bool, colors []int, v, delta int) bool {
+	if g.Deg(v) < delta {
+		return true
+	}
+	for _, u := range g.Neighbors(v) {
+		if !inL[u] && colors[u] < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func freeColorOf(g *graph.G, colors []int, v, delta int) int {
+	used := make([]bool, delta)
+	for _, u := range g.Neighbors(v) {
+		if c := colors[u]; c >= 0 && c < delta {
+			used[c] = true
+		}
+	}
+	for c := 0; c < delta; c++ {
+		if !used[c] {
+			return c
+		}
+	}
+	return -1
+}
+
+func minOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

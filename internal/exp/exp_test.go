@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick smoke-runs every experiment in quick mode: no
+// panics, non-empty tables, markdown renders.
+func TestAllExperimentsQuick(t *testing.T) {
+	tables := All(Config{Quick: true, Seed: 1})
+	if len(tables) != 12 {
+		t.Fatalf("got %d tables, want 12", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" {
+			t.Fatalf("table missing ID/title: %+v", tb)
+		}
+		if seen[tb.ID] {
+			t.Fatalf("duplicate table ID %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %s has no rows", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("table %s: row width %d != header width %d", tb.ID, len(row), len(tb.Header))
+			}
+		}
+		var buf bytes.Buffer
+		tb.Markdown(&buf)
+		out := buf.String()
+		if !strings.Contains(out, tb.ID) || !strings.Contains(out, "|") {
+			t.Fatalf("table %s markdown malformed:\n%s", tb.ID, out)
+		}
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	// y = 3x + 1 exactly.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 4, 7, 10}
+	if got := fitSlope(xs, ys); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("fitSlope = %v, want 3", got)
+	}
+	if got := fitSlope([]float64{1}, []float64{1}); !math.IsNaN(got) {
+		t.Fatalf("fitSlope on single point = %v, want NaN", got)
+	}
+	if got := fitSlope([]float64{2, 2}, []float64{1, 5}); !math.IsNaN(got) {
+		t.Fatalf("fitSlope on vertical data = %v, want NaN", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %v, want 4", got)
+	}
+	if got := geomean(nil); !math.IsNaN(got) {
+		t.Fatalf("geomean(nil) = %v, want NaN", got)
+	}
+}
+
+func TestTableMarkdownShape(t *testing.T) {
+	tb := &Table{ID: "EX", Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	tb.Markdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### EX — demo", "| a | b |", "| 1 | 2 |", "> note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{ID: "EX", Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow("1", "2,3") // comma must be quoted
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a,b\n") || !strings.Contains(out, `1,"2,3"`) {
+		t.Fatalf("csv malformed:\n%s", out)
+	}
+}

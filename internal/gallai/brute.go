@@ -1,0 +1,112 @@
+package gallai
+
+import (
+	"fmt"
+	"sort"
+
+	"deltacolor/graph"
+)
+
+// BruteListColor finds an exact proper list coloring of the induced
+// subgraph on nodes via backtracking with a most-constrained-first
+// heuristic. lists maps original node ID -> allowed colors. Returns
+// original-ID -> color, or an error when no coloring exists.
+//
+// This is phase (9)/(5)'s "brute force each component" for DCCs and free
+// nodes: by Theorem 8 a DCC always admits a coloring for deg-sized lists,
+// so for DCC inputs the error path indicates a caller bug.
+func BruteListColor(g *graph.G, nodes []int, lists map[int][]int) (map[int]int, error) {
+	sub, orig, err := g.InducedSubgraph(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("brute list color: %w", err)
+	}
+	n := sub.N()
+	local := make([][]int, n)
+	for i, u := range orig {
+		l, ok := lists[u]
+		if !ok {
+			return nil, fmt.Errorf("brute list color: node %d has no list", u)
+		}
+		local[i] = append([]int(nil), l...)
+	}
+	// Order nodes by ascending list slack (|L| - deg), then by degree
+	// descending: most constrained first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa := len(local[order[a]]) - sub.Deg(order[a])
+		sb := len(local[order[b]]) - sub.Deg(order[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return sub.Deg(order[a]) > sub.Deg(order[b])
+	})
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	if !bruteRec(sub, order, 0, local, colors) {
+		return nil, fmt.Errorf("brute list color: no proper list coloring exists for %d nodes", n)
+	}
+	out := make(map[int]int, n)
+	for i, u := range orig {
+		out[u] = colors[i]
+	}
+	return out, nil
+}
+
+func bruteRec(g *graph.G, order []int, k int, lists [][]int, colors []int) bool {
+	if k == len(order) {
+		return true
+	}
+	v := order[k]
+	for _, c := range lists[v] {
+		ok := true
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == c {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		colors[v] = c
+		if bruteRec(g, order, k+1, lists, colors) {
+			return true
+		}
+		colors[v] = -1
+	}
+	return false
+}
+
+// DegreeLists builds the canonical degree-choosability lists for a
+// component against a partial coloring of the rest of the graph: node v's
+// list is {0..delta-1} minus the colors of its already-colored neighbors
+// outside the component. For a DCC these lists have size >= deg within the
+// component, so a coloring exists by Theorem 8.
+func DegreeLists(g *graph.G, nodes []int, partial []int, delta int) map[int][]int {
+	inComp := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		inComp[v] = true
+	}
+	lists := make(map[int][]int, len(nodes))
+	for _, v := range nodes {
+		used := map[int]bool{}
+		for _, u := range g.Neighbors(v) {
+			if !inComp[u] && partial[u] >= 0 {
+				used[partial[u]] = true
+			}
+		}
+		var l []int
+		for c := 0; c < delta; c++ {
+			if !used[c] {
+				l = append(l, c)
+			}
+		}
+		lists[v] = l
+	}
+	return lists
+}

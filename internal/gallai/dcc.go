@@ -1,0 +1,286 @@
+package gallai
+
+import (
+	"deltacolor/graph"
+)
+
+// FindDCC searches for a degree-choosable component of radius at most r
+// containing v. Detection is sound: a non-nil result always induces a
+// 2-connected subgraph that is neither a clique nor an induced odd cycle,
+// with radius <= r.
+//
+// The search is built around the canonical small DCCs:
+//
+//	(1) a short cycle through v whose node set already induces a DCC
+//	    (even chordless cycle, or any cycle with chords that is not a
+//	    clique);
+//	(2) a short cycle through v plus one "ear" node attached twice
+//	    (theta-like subgraphs such as K4 minus an edge);
+//	(3) for small balls, the block of v (exact but more expensive).
+//
+// It can miss deeply-buried DCCs; the Δ-coloring pipeline tolerates
+// incompleteness (missed DCCs shift work to the shattering phases and the
+// repair safety net, never breaking correctness). See DESIGN.md §3.
+func FindDCC(g *graph.G, v, r int) []int {
+	if r < 1 {
+		return nil
+	}
+	// (1)+(2): cycle-based search inside the radius-r ball.
+	if got := cycleDCC(g, v, r); got != nil {
+		return got
+	}
+	// (3): exact block search on small balls only.
+	ball := g.Ball(v, 2*r)
+	if len(ball) <= 48 {
+		if got := blockDCC(g, ball, v, r); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// cycleDCC finds short cycles through v and upgrades them to DCCs.
+func cycleDCC(g *graph.G, v, r int) []int {
+	cycles := shortCyclesThrough(g, v, r)
+	for _, cyc := range cycles {
+		if rad := SetRadius(g, cyc); rad < 0 || rad > r {
+			continue
+		}
+		if IsDCCSet(g, cyc) {
+			return cyc
+		}
+		// The cycle induces a clique (triangle) or a chordless odd cycle:
+		// try attaching an ear node x adjacent to >= 2 cycle nodes.
+		inCyc := make(map[int]bool, len(cyc))
+		for _, u := range cyc {
+			inCyc[u] = true
+		}
+		cand := map[int]int{}
+		for _, u := range cyc {
+			for _, x := range g.Neighbors(u) {
+				if !inCyc[x] {
+					cand[x]++
+				}
+			}
+		}
+		for x, cnt := range cand {
+			if cnt < 2 {
+				continue
+			}
+			ext := append(append([]int(nil), cyc...), x)
+			if rad := SetRadius(g, ext); rad < 0 || rad > r {
+				continue
+			}
+			if IsDCCSet(g, ext) {
+				return ext
+			}
+		}
+	}
+	return nil
+}
+
+// shortCyclesThrough returns node sets of up to a few short cycles passing
+// through v, found via branch-labelled BFS: a non-tree edge between
+// different BFS branches closes a cycle through v consisting of the two
+// tree paths plus the edge.
+func shortCyclesThrough(g *graph.G, v, r int) [][]int {
+	res := g.BFSLimited(v, r)
+	branch := make(map[int]int)
+	branch[v] = -1
+	for _, u := range res.Order {
+		if u == v {
+			continue
+		}
+		p := res.Parent[u]
+		if p == v {
+			branch[u] = u
+		} else {
+			branch[u] = branch[p]
+		}
+	}
+	type edge struct{ x, y, length int }
+	var closers []edge
+	for _, x := range res.Order {
+		for _, y := range g.Neighbors(x) {
+			if x >= y {
+				continue
+			}
+			dy, ok := branch[y]
+			if !ok {
+				continue
+			}
+			if res.Parent[y] == x || res.Parent[x] == y {
+				continue
+			}
+			if branch[x] == dy {
+				continue // same branch: cycle may avoid v
+			}
+			closers = append(closers, edge{x, y, res.Dist[x] + res.Dist[y] + 1})
+		}
+	}
+	// Shortest few cycles first (insertion sort; the list is short).
+	for i := 1; i < len(closers); i++ {
+		for j := i; j > 0 && closers[j].length < closers[j-1].length; j-- {
+			closers[j], closers[j-1] = closers[j-1], closers[j]
+		}
+	}
+	const maxCycles = 8
+	var out [][]int
+	for i := 0; i < len(closers) && len(out) < maxCycles; i++ {
+		e := closers[i]
+		set := map[int]bool{}
+		for u := e.x; u != -1; u = res.Parent[u] {
+			set[u] = true
+		}
+		for u := e.y; u != -1; u = res.Parent[u] {
+			set[u] = true
+		}
+		nodes := make([]int, 0, len(set))
+		for u := range set {
+			nodes = append(nodes, u)
+		}
+		out = append(out, nodes)
+	}
+	return out
+}
+
+// blockDCC is the exact search used on small balls: the block containing v
+// in the induced ball subgraph, greedily shrunk to radius r.
+func blockDCC(g *graph.G, ball []int, v, r int) []int {
+	sub, orig, err := g.InducedSubgraph(ball)
+	if err != nil {
+		return nil
+	}
+	const center = 0 // BFS order puts v first
+	blocks, _ := sub.BiconnectedComponents()
+	for _, b := range blocks {
+		if !containsNode(b.Nodes, center) || BlockIsCliqueOrOddCycle(sub, b) {
+			continue
+		}
+		if got := shrinkDCC(sub, b.Nodes, center, r); got != nil {
+			out := make([]int, len(got))
+			for i, u := range got {
+				out[i] = orig[u]
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// shrinkDCC greedily peels nodes farthest from the center while keeping
+// the DCC property, aiming for radius <= r. Returns nil on failure.
+func shrinkDCC(sub *graph.G, nodes []int, center, r int) []int {
+	cur := append([]int(nil), nodes...)
+	if !IsDCCSet(sub, cur) {
+		return nil
+	}
+	for {
+		if rad := SetRadius(sub, cur); rad >= 0 && rad <= r {
+			return cur
+		}
+		dists := distWithin(sub, cur, center)
+		best, bestDist := -1, -1
+		for _, cand := range cur {
+			if cand == center {
+				continue
+			}
+			if d := dists[cand]; d > bestDist {
+				if next := withoutNode(cur, cand); IsDCCSet(sub, next) {
+					best, bestDist = cand, d
+				}
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		cur = withoutNode(cur, best)
+	}
+}
+
+// distWithin returns distances from center within the induced subgraph on
+// nodes, keyed by original node ID (-1 when unreachable).
+func distWithin(g *graph.G, nodes []int, center int) map[int]int {
+	sub, orig, err := g.InducedSubgraph(nodes)
+	out := map[int]int{}
+	if err != nil {
+		return out
+	}
+	ci := -1
+	for i, u := range orig {
+		if u == center {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return out
+	}
+	res := sub.BFS(ci)
+	for i, u := range orig {
+		out[u] = res.Dist[i]
+	}
+	return out
+}
+
+func containsNode(nodes []int, v int) bool {
+	for _, u := range nodes {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func withoutNode(nodes []int, v int) []int {
+	out := make([]int, 0, len(nodes)-1)
+	for _, u := range nodes {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// SelectDCCs runs phase (1) of the randomized algorithm: every node that is
+// contained in a DCC of radius <= r selects one; the returned slice holds
+// the distinct selected DCCs, and owner maps each selecting node to its
+// DCC's index (-1 when none found).
+//
+// rounds reports the LOCAL cost charged: collecting the radius-2r ball
+// costs 2r rounds (see local.GatherBall).
+func SelectDCCs(g *graph.G, r int) (dccs [][]int, owner []int, rounds int) {
+	owner = make([]int, g.N())
+	for v := range owner {
+		owner[v] = -1
+	}
+	seen := map[string]int{}
+	for v := 0; v < g.N(); v++ {
+		d := FindDCC(g, v, r)
+		if d == nil {
+			continue
+		}
+		key := dccKey(d)
+		if idx, ok := seen[key]; ok {
+			owner[v] = idx
+			continue
+		}
+		seen[key] = len(dccs)
+		owner[v] = len(dccs)
+		dccs = append(dccs, d)
+	}
+	return dccs, owner, 2 * r
+}
+
+func dccKey(nodes []int) string {
+	sorted := append([]int(nil), nodes...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	b := make([]byte, 0, len(sorted)*3)
+	for _, x := range sorted {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16))
+	}
+	return string(b)
+}

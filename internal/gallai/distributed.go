@@ -1,0 +1,83 @@
+package gallai
+
+import (
+	"sort"
+
+	"deltacolor/graph"
+	"deltacolor/local"
+)
+
+// SelectDCCsDistributed is the genuinely message-passing form of
+// SelectDCCs: every node gathers its radius-2r ball through the LOCAL
+// runtime (rounds of neighborhood flooding, the textbook "collect your
+// ball then compute" LOCAL algorithm), reconstructs the induced subgraph
+// locally, and runs the same FindDCC it would run with global knowledge.
+//
+// It must agree exactly with the central shortcut (SelectDCCs charges
+// 2r rounds without executing the message passing); the test suite
+// asserts that agreement. Use the central form in experiments — this
+// form costs real memory (every node holds its ball) and exists to
+// validate the shortcut and to exercise the runtime's gather primitive.
+func SelectDCCsDistributed(g *graph.G, r int) (dccs [][]int, owner []int, rounds int) {
+	n := g.N()
+	net := local.NewNetwork(g, 1)
+	outs := net.Run(func(ctx *local.Ctx) {
+		ball := local.GatherBall(ctx, 2*r)
+		// Rebuild the known subgraph with IDs compacted. Known adjacency
+		// covers every node the DCC search can touch (distance <= r plus
+		// one hop of slack).
+		ids := make([]int, 0, len(ball.Adj))
+		for v := range ball.Adj {
+			ids = append(ids, v)
+		}
+		sort.Ints(ids)
+		idx := make(map[int]int, len(ids))
+		for i, v := range ids {
+			idx[v] = i
+		}
+		sub := graph.New(len(ids))
+		for v, nbrs := range ball.Adj {
+			iv := idx[v]
+			for _, u := range nbrs {
+				iu, ok := idx[u]
+				if !ok || iv >= iu {
+					continue
+				}
+				if !sub.HasEdge(iv, iu) {
+					sub.MustEdge(iv, iu)
+				}
+			}
+		}
+		d := FindDCC(sub, idx[ctx.ID()], r)
+		if d == nil {
+			ctx.SetOutput([]int(nil))
+			return
+		}
+		mapped := make([]int, len(d))
+		for i, x := range d {
+			mapped[i] = ids[x]
+		}
+		ctx.SetOutput(mapped)
+	})
+
+	owner = make([]int, n)
+	for v := range owner {
+		owner[v] = -1
+	}
+	seen := map[string]int{}
+	for v := 0; v < n; v++ {
+		d, _ := outs[v].([]int)
+		if d == nil {
+			continue
+		}
+		key := dccKey(d)
+		di, ok := seen[key]
+		if !ok {
+			di = len(dccs)
+			seen[key] = di
+			dccs = append(dccs, d)
+		}
+		owner[v] = di
+	}
+	return dccs, owner, net.Rounds()
+}

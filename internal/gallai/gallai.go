@@ -1,0 +1,114 @@
+// Package gallai implements the graph-colorability machinery of Section 2
+// of the paper: Gallai trees, degree-choosability (Theorem 8), detection of
+// degree-choosable components (DCCs) of bounded radius, exact brute-force
+// list coloring of small components, and the structural lemmas
+// (unique BFS trees, neighborhood clique decomposition, BFS expansion) as
+// executable checks.
+package gallai
+
+import (
+	"deltacolor/graph"
+)
+
+// IsGallaiTree reports whether every block (maximal 2-connected component)
+// of g is a clique or an odd cycle. By Theorem 8 [ERT79, Viz76] a connected
+// graph is degree-choosable iff it is NOT a Gallai tree.
+func IsGallaiTree(g *graph.G) bool {
+	blocks, _ := g.BiconnectedComponents()
+	for _, b := range blocks {
+		if !BlockIsCliqueOrOddCycle(g, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockIsCliqueOrOddCycle classifies one block. Blocks are induced
+// subgraphs (every edge of g between block nodes belongs to the block), so
+// induced tests on the node set are sound.
+func BlockIsCliqueOrOddCycle(g *graph.G, b graph.Block) bool {
+	if len(b.Nodes) <= 2 {
+		return true // single node or bridge edge = K1/K2
+	}
+	if g.IsCliqueSet(b.Nodes) {
+		return true
+	}
+	isCycle, odd := g.IsInducedCycleSet(b.Nodes)
+	return isCycle && odd
+}
+
+// IsDegreeChoosable reports whether every connected component of g is
+// degree-choosable, i.e. admits a proper coloring for every list
+// assignment with |L(v)| >= deg(v). A graph with any Gallai-tree component
+// is not degree-choosable.
+func IsDegreeChoosable(g *graph.G) bool {
+	if g.N() == 0 {
+		return false
+	}
+	comp, count := g.ConnectedComponents()
+	byComp := make([][]int, count)
+	for v, c := range comp {
+		byComp[c] = append(byComp[c], v)
+	}
+	for _, nodes := range byComp {
+		sub, _, err := g.InducedSubgraph(nodes)
+		if err != nil {
+			return false
+		}
+		if IsGallaiTree(sub) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDCCSet reports whether the given node set induces a degree-choosable
+// component in g: 2-connected, neither a clique nor an (induced) odd cycle.
+func IsDCCSet(g *graph.G, nodes []int) bool {
+	if len(nodes) < 4 {
+		// The smallest DCC is the 4-cycle (2-connected non-clique non-odd-
+		// cycle graphs need >= 4 nodes: on 3 nodes the only 2-connected
+		// graph is K3).
+		return false
+	}
+	sub, _, err := g.InducedSubgraph(nodes)
+	if err != nil {
+		return false
+	}
+	if !isBiconnected(sub) {
+		return false
+	}
+	if sub.IsClique() || sub.IsOddCycle() {
+		return false
+	}
+	return true
+}
+
+// isBiconnected reports whether the whole graph is 2-connected (one block
+// covering all nodes, n >= 3 — by convention K2 is not 2-connected here,
+// matching "2-connected components that are cliques or odd cycles").
+func isBiconnected(g *graph.G) bool {
+	if g.N() < 3 {
+		return false
+	}
+	if !g.IsConnected() {
+		return false
+	}
+	blocks, _ := g.BiconnectedComponents()
+	for _, b := range blocks {
+		if len(b.Nodes) == g.N() {
+			return true
+		}
+	}
+	return false
+}
+
+// SetRadius returns the radius of the induced subgraph on nodes
+// (-1 if disconnected).
+func SetRadius(g *graph.G, nodes []int) int {
+	sub, _, err := g.InducedSubgraph(nodes)
+	if err != nil {
+		return -1
+	}
+	return sub.Radius()
+}

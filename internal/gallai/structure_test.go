@@ -1,0 +1,125 @@
+package gallai
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacolor/graph/gen"
+)
+
+func TestCheckUniqueBFSOnTree(t *testing.T) {
+	// Trees have no DCCs at all, so BFS trees are unique at any radius.
+	g := gen.CompleteTree(3, 3)
+	for v := 0; v < g.N(); v += 5 {
+		if err := CheckUniqueBFS(g, v, 3); err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+	}
+}
+
+func TestCheckUniqueBFSOnHypercubeFails(t *testing.T) {
+	// Q3 is full of 4-cycles (DCCs of radius 2), so unique-BFS must fail
+	// somewhere at radius 2.
+	g := gen.Hypercube(3)
+	failed := false
+	for v := 0; v < g.N(); v++ {
+		if err := CheckUniqueBFS(g, v, 2); err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("expected unique-BFS violations on the hypercube")
+	}
+}
+
+func TestLemma10OnDCCFreeGraphs(t *testing.T) {
+	// Lemma 10: no DCC of radius <= r  =>  unique BFS tree of depth r.
+	// Gallai trees have no DCCs of any radius.
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.GallaiTree(rng, 6, 4)
+		for v := 0; v < g.N(); v += 2 {
+			for r := 1; r <= 3; r++ {
+				if FindDCC(g, v, r) == nil && HasDCCFreeBall(g, v, r) {
+					if err := CheckUniqueBFS(g, v, r); err != nil {
+						t.Fatalf("seed=%d v=%d r=%d: %v", seed, v, r, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCheckNeighborhoodCliques(t *testing.T) {
+	// Lemma 13 on a clique chain: neighborhoods decompose into cliques.
+	g := gen.CliqueChain(4, 3)
+	for v := 0; v < g.N(); v++ {
+		if err := CheckNeighborhoodCliques(g, v); err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+	}
+	// C4 has a DCC of radius 1... (C4 radius is 1? eccentricity 2) — use
+	// the diamond, which has a radius-1 DCC and violates Lemma 13 at the
+	// degree-3 nodes.
+	d := diamond()
+	bad := false
+	for v := 0; v < 4; v++ {
+		if CheckNeighborhoodCliques(d, v) != nil {
+			bad = true
+		}
+	}
+	if !bad {
+		t.Fatal("diamond should violate neighborhood-clique decomposition")
+	}
+}
+
+func TestSphereSizes(t *testing.T) {
+	g := gen.Cycle(10)
+	s := SphereSizes(g, 0, 3)
+	want := []int{1, 2, 2, 2}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sphere sizes %v", s)
+		}
+	}
+}
+
+func TestMeasureExpansionOnTree(t *testing.T) {
+	// A complete (Δ-1)-ary tree with every internal node of degree Δ is
+	// DCC-free and meets the Lemma 15 bound inside the tree.
+	delta := 4
+	g := gen.CompleteTree(delta-1, 6) // root degree 3... internal degree 4
+	rep := MeasureExpansion(g, 0, 4, delta)
+	if !rep.Satisfied {
+		t.Fatalf("tree should satisfy (Δ-1)^(t/2): %+v", rep)
+	}
+}
+
+func TestMinDegreeWithin(t *testing.T) {
+	g := gen.Path(10)
+	if MinDegreeWithin(g, 5, 2) != 2 {
+		t.Fatal("interior of path has min degree 2 within radius 2")
+	}
+	if MinDegreeWithin(g, 0, 1) != 1 {
+		t.Fatal("endpoint has degree 1")
+	}
+}
+
+func TestHasDCCFreeBall(t *testing.T) {
+	if !HasDCCFreeBall(gen.Cycle(9), 0, 2) {
+		t.Fatal("odd cycle balls are DCC-free")
+	}
+	if HasDCCFreeBall(gen.Hypercube(3), 0, 2) {
+		t.Fatal("hypercube balls contain 4-cycles")
+	}
+}
+
+func TestSetRadius(t *testing.T) {
+	g := gen.Cycle(8)
+	if r := SetRadius(g, []int{0, 1, 2, 3, 4, 5, 6, 7}); r != 4 {
+		t.Fatalf("C8 radius %d", r)
+	}
+	if r := SetRadius(g, []int{0, 4}); r != -1 {
+		t.Fatalf("disconnected set radius %d", r)
+	}
+}

@@ -1,0 +1,110 @@
+package local
+
+import "reflect"
+
+// CONGEST instrumentation. The LOCAL model allows unbounded messages; the
+// CONGEST model caps them at O(log n) bits per edge per round. Measuring
+// how large a LOCAL algorithm's messages actually get says how far it is
+// from CONGEST-portable — the flooding-based phases of the Δ-coloring
+// algorithms blow up (they ship whole balls), while the color-trial
+// phases fit comfortably.
+//
+// Enable with Network.EnableMessageStats before Run; read the result via
+// Network.MessageStats afterwards.
+
+// MessageStats aggregates per-run message-size measurements.
+type MessageStats struct {
+	Messages     int // messages delivered over the whole run
+	TotalBytes   int // estimated payload bytes across all messages
+	MaxBytes     int // largest single message, estimated bytes
+	MaxRound     int // round in which the largest message was sent
+	RoundsActive int // rounds in which at least one message was sent
+}
+
+// EnableMessageStats turns on message-size accounting for subsequent
+// runs. It costs a reflection walk per delivered message, so it is off by
+// default.
+func (net *Network) EnableMessageStats() {
+	net.stats = &MessageStats{}
+}
+
+// MessageStats returns the measurements of the last instrumented run, or
+// nil when EnableMessageStats was not called.
+func (net *Network) MessageStats() *MessageStats { return net.stats }
+
+// recordMessages is called by completeRound (holding net.mu) with the
+// staged messages of the closing round.
+func (net *Network) recordMessages() {
+	any := false
+	for _, c := range net.ctxs {
+		for _, msg := range c.out {
+			if msg == nil {
+				continue
+			}
+			any = true
+			sz := estimateSize(reflect.ValueOf(msg), 0)
+			net.stats.Messages++
+			net.stats.TotalBytes += sz
+			if sz > net.stats.MaxBytes {
+				net.stats.MaxBytes = sz
+				// completeRound has not incremented the counter yet, so the
+				// closing round is rounds+1 in 1-based reporting.
+				net.stats.MaxRound = net.rounds + 1
+			}
+		}
+	}
+	if any {
+		net.stats.RoundsActive++
+	}
+}
+
+// estimateSize walks a value and estimates its wire size in bytes: the
+// payload a real implementation would serialize. Pointers and interfaces
+// unwrap; maps and slices sum elements plus per-entry overhead. Depth is
+// capped defensively against cyclic structures.
+func estimateSize(v reflect.Value, depth int) int {
+	if depth > 12 || !v.IsValid() {
+		return 0
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		return 1
+	case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64, reflect.Float64:
+		return 8
+	case reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.String:
+		return len(v.String())
+	case reflect.Slice, reflect.Array:
+		sz := 4 // length prefix
+		for i := 0; i < v.Len(); i++ {
+			sz += estimateSize(v.Index(i), depth+1)
+		}
+		return sz
+	case reflect.Map:
+		sz := 4
+		iter := v.MapRange()
+		for iter.Next() {
+			sz += estimateSize(iter.Key(), depth+1)
+			sz += estimateSize(iter.Value(), depth+1)
+		}
+		return sz
+	case reflect.Struct:
+		sz := 0
+		for i := 0; i < v.NumField(); i++ {
+			sz += estimateSize(v.Field(i), depth+1)
+		}
+		return sz
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			return 1
+		}
+		return 1 + estimateSize(v.Elem(), depth+1)
+	default:
+		return 8
+	}
+}

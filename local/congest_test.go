@@ -1,0 +1,103 @@
+package local
+
+import (
+	"testing"
+
+	"deltacolor/graph"
+)
+
+func path4() *graph.G {
+	g := graph.New(4)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	return g
+}
+
+func TestMessageStatsCountsAndSizes(t *testing.T) {
+	g := path4()
+	net := NewNetwork(g, 1)
+	net.EnableMessageStats()
+	net.Run(func(ctx *Ctx) {
+		// One round: everyone broadcasts a single int (8 bytes).
+		ctx.Broadcast(42)
+		ctx.Next()
+	})
+	st := net.MessageStats()
+	if st == nil {
+		t.Fatal("stats not recorded")
+	}
+	// Path 0-1-2-3 has 6 directed (port) messages.
+	if st.Messages != 6 {
+		t.Fatalf("messages = %d, want 6", st.Messages)
+	}
+	if st.MaxBytes != 8 || st.TotalBytes != 48 {
+		t.Fatalf("bytes = max %d total %d, want 8, 48", st.MaxBytes, st.TotalBytes)
+	}
+	if st.RoundsActive != 1 {
+		t.Fatalf("roundsActive = %d, want 1", st.RoundsActive)
+	}
+}
+
+func TestMessageStatsGrowingMessages(t *testing.T) {
+	g := path4()
+	net := NewNetwork(g, 1)
+	net.EnableMessageStats()
+	net.Run(func(ctx *Ctx) {
+		// Round 1: small message; round 2: big slice.
+		ctx.Broadcast(1)
+		ctx.Next()
+		big := make([]int, 100)
+		ctx.Broadcast(big)
+		ctx.Next()
+	})
+	st := net.MessageStats()
+	if st.MaxBytes < 800 {
+		t.Fatalf("max bytes = %d, want >= 800 (100 ints)", st.MaxBytes)
+	}
+	if st.MaxRound != 2 {
+		t.Fatalf("max round = %d, want 2", st.MaxRound)
+	}
+	if st.RoundsActive != 2 {
+		t.Fatalf("roundsActive = %d, want 2", st.RoundsActive)
+	}
+}
+
+func TestMessageStatsOffByDefault(t *testing.T) {
+	net := NewNetwork(path4(), 1)
+	net.Run(func(ctx *Ctx) {
+		ctx.Broadcast(1)
+		ctx.Next()
+	})
+	if net.MessageStats() != nil {
+		t.Fatal("stats should be nil when not enabled")
+	}
+}
+
+func TestEstimateSizeKinds(t *testing.T) {
+	type payload struct {
+		A int
+		B string
+		C []byte
+		D map[int]int
+		E *int
+	}
+	x := 7
+	p := payload{A: 1, B: "abc", C: []byte{1, 2}, D: map[int]int{1: 2}, E: &x}
+	net := NewNetwork(path4(), 1)
+	net.EnableMessageStats()
+	net.Run(func(ctx *Ctx) {
+		if ctx.ID() == 0 {
+			ctx.Send(0, p)
+		}
+		ctx.Next()
+	})
+	st := net.MessageStats()
+	if st.Messages != 1 {
+		t.Fatalf("messages = %d, want 1", st.Messages)
+	}
+	// 8 (A) + 3 (B) + 4+2 (C) + 4+16 (D) + 1+8 (E) = 46.
+	if st.TotalBytes != 46 {
+		t.Fatalf("estimated bytes = %d, want 46", st.TotalBytes)
+	}
+}

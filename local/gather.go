@@ -1,0 +1,68 @@
+package local
+
+// BallInfo is the knowledge a node accumulates by flooding for t rounds:
+// the IDs and full adjacency lists of every node within distance t of the
+// center. Because messages are unbounded in the LOCAL model, this is the
+// canonical way a t-round algorithm "sees" its t-neighborhood.
+type BallInfo struct {
+	Center int
+	Radius int
+	Adj    map[int][]int // known adjacency, complete for nodes at distance <= Radius
+}
+
+// ballMsg carries newly learned (node, adjacency) pairs.
+type ballMsg struct {
+	adj map[int][]int
+}
+
+// GatherBall floods for t rounds and returns the radius-t ball around the
+// calling node. It consumes exactly t rounds of the network.
+func GatherBall(ctx *Ctx, t int) *BallInfo {
+	known := map[int][]int{}
+	// A node does not know its neighbors' IDs a priori, only ports; the
+	// first exchange reveals them, after which adjacency lists of nodes at
+	// distance <= t-1 are complete and those at distance t are known from
+	// their own self-reports that traveled t hops.
+	fresh := map[int][]int{ctx.ID(): nil} // filled after round 1 below
+	// We learn our own adjacency by receiving neighbor IDs in round 1, so
+	// track it separately.
+	myAdj := make([]int, 0, ctx.Degree())
+
+	for round := 0; round < t; round++ {
+		// Send everything learned last round (plus self-intro in round 0).
+		msg := ballMsg{adj: map[int][]int{}}
+		if round == 0 {
+			msg.adj[ctx.ID()] = nil // "I exist"; adjacency filled next round
+		} else {
+			for id, a := range fresh {
+				msg.adj[id] = a
+			}
+		}
+		ctx.Broadcast(msg)
+		ctx.Next()
+		fresh = map[int][]int{}
+		for p := 0; p < ctx.Degree(); p++ {
+			m, ok := ctx.Recv(p).(ballMsg)
+			if !ok {
+				continue
+			}
+			for id, a := range m.adj {
+				if round == 0 {
+					// Port p's self-intro: learn neighbor ID.
+					myAdj = append(myAdj, id)
+				}
+				if _, seen := known[id]; !seen || known[id] == nil && a != nil {
+					known[id] = a
+					fresh[id] = a
+				}
+			}
+		}
+		if round == 0 {
+			// Now we can report our own adjacency.
+			known[ctx.ID()] = myAdj
+			fresh[ctx.ID()] = myAdj
+		}
+	}
+	known[ctx.ID()] = myAdj
+	return &BallInfo{Center: ctx.ID(), Radius: t, Adj: known}
+}

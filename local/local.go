@@ -1,0 +1,300 @@
+// Package local implements the LOCAL model of distributed computing as a
+// runtime: one goroutine per node, synchronous rounds enforced by a central
+// coordinator, per-round message delivery along edges, and automatic round
+// accounting.
+//
+// An algorithm is a function executed by every node against a *Ctx. Nodes
+// know initially only their own ID, their degree and port numbering, and
+// the global parameters n and Δ (as is standard in the LOCAL model). A node
+// communicates by writing messages to ports and calling Next, which blocks
+// until every running node has finished the round; Next returns the
+// messages that arrived. A node halts by returning from the function; its
+// final state is whatever the algorithm recorded through SetOutput.
+//
+// Messages are unbounded (LOCAL model), so any t-round algorithm is
+// equivalent to a function of the t-hop neighborhood; GatherBall implements
+// exactly that flooding pattern as a reusable building block.
+package local
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"deltacolor/graph"
+)
+
+// Message is any value sent along an edge in one round.
+type Message any
+
+// NodeFunc is the per-node program. It runs in its own goroutine; it must
+// communicate only through ctx and must return to halt.
+type NodeFunc func(ctx *Ctx)
+
+// Ctx is a node's interface to the network during a run.
+type Ctx struct {
+	id     int
+	deg    int
+	n      int
+	maxDeg int
+	rng    *rand.Rand
+
+	net    *Network
+	in     []Message // in[p] = message received on port p this round (nil if none)
+	out    []Message // staged outgoing messages
+	output any
+	halted bool
+	input  any
+}
+
+// ID returns this node's unique identifier in [0, n).
+func (c *Ctx) ID() int { return c.id }
+
+// Degree returns the node's degree (number of ports).
+func (c *Ctx) Degree() int { return c.deg }
+
+// N returns the number of nodes in the network (global knowledge, standard
+// in the LOCAL model).
+func (c *Ctx) N() int { return c.n }
+
+// MaxDegree returns Δ, the maximum degree of the network.
+func (c *Ctx) MaxDegree() int { return c.maxDeg }
+
+// Rand returns the node's private randomness source (deterministically
+// derived from the run seed and the node ID).
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// Input returns the per-node input installed by RunWithInput (nil if none).
+func (c *Ctx) Input() any { return c.input }
+
+// Send stages msg to be delivered to the neighbor on port p at the end of
+// the current round. A second Send on the same port overwrites the first
+// (one message per edge per round; messages are unbounded so algorithms
+// bundle what they need).
+func (c *Ctx) Send(p int, msg Message) {
+	c.out[p] = msg
+}
+
+// Broadcast stages msg on every port.
+func (c *Ctx) Broadcast(msg Message) {
+	for p := range c.out {
+		c.out[p] = msg
+	}
+}
+
+// Recv returns the message received on port p in the last completed round,
+// or nil.
+func (c *Ctx) Recv(p int) Message { return c.in[p] }
+
+// Next completes the current round: staged messages are delivered and the
+// node blocks until all running nodes reach the barrier. It returns after
+// incoming messages for the new round are available via Recv.
+func (c *Ctx) Next() {
+	c.net.barrier(c, false)
+}
+
+// SetOutput records the node's output (its color, mark, level, ...).
+func (c *Ctx) SetOutput(v any) { c.output = v }
+
+// Output returns the value recorded by SetOutput.
+func (c *Ctx) Output() any { return c.output }
+
+// Network runs NodeFuncs over a graph.
+type Network struct {
+	g      *graph.G
+	ports  [][]int // ports[v][p] = neighbor on port p (== g.Neighbors(v))
+	rev    [][]int // rev[v][p] = port index of v on ports[v][p]'s side
+	seed   int64
+	rounds int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting int
+	running int
+	gen     uint64
+	ctxs    []*Ctx
+
+	stats *MessageStats // non-nil when EnableMessageStats was called
+}
+
+// NewNetwork prepares a network over g with the given randomness seed.
+func NewNetwork(g *graph.G, seed int64) *Network {
+	n := g.N()
+	net := &Network{g: g, seed: seed}
+	net.cond = sync.NewCond(&net.mu)
+	net.ports = make([][]int, n)
+	net.rev = make([][]int, n)
+	for v := 0; v < n; v++ {
+		net.ports[v] = g.Neighbors(v)
+		net.rev[v] = make([]int, len(net.ports[v]))
+	}
+	// rev[v][p]: find index of v in neighbor's list.
+	for v := 0; v < n; v++ {
+		for p, u := range net.ports[v] {
+			for q, w := range net.ports[u] {
+				if w == v {
+					net.rev[v][p] = q
+					break
+				}
+			}
+		}
+	}
+	return net
+}
+
+// Rounds returns the number of synchronous rounds of the last Run.
+func (net *Network) Rounds() int { return net.rounds }
+
+// Graph returns the underlying graph.
+func (net *Network) Graph() *graph.G { return net.g }
+
+// Run executes f on every node until all halt and returns each node's
+// output. The number of rounds used is available via Rounds.
+func (net *Network) Run(f NodeFunc) []any {
+	return net.RunWithInput(f, nil)
+}
+
+// RunWithInput is Run with a per-node input value (inputs[v] is readable by
+// node v via ctx.Input). inputs may be nil.
+func (net *Network) RunWithInput(f NodeFunc, inputs []any) []any {
+	n := net.g.N()
+	maxDeg := net.g.MaxDegree()
+	net.rounds = 0
+	net.gen = 0
+	net.ctxs = make([]*Ctx, n)
+	for v := 0; v < n; v++ {
+		c := &Ctx{
+			id:     v,
+			deg:    net.g.Deg(v),
+			n:      n,
+			maxDeg: maxDeg,
+			rng:    rand.New(rand.NewSource(net.seed*1_000_003 + int64(v))),
+			net:    net,
+		}
+		c.in = make([]Message, c.deg)
+		c.out = make([]Message, c.deg)
+		if inputs != nil {
+			c.input = inputs[v]
+		}
+		net.ctxs[v] = c
+	}
+	net.running = n
+	net.waiting = 0
+
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(c *Ctx) {
+			defer wg.Done()
+			f(c)
+			net.barrier(c, true)
+		}(net.ctxs[v])
+	}
+	wg.Wait()
+
+	outs := make([]any, n)
+	for v := 0; v < n; v++ {
+		outs[v] = net.ctxs[v].output
+	}
+	return outs
+}
+
+// barrier is called by node goroutines at the end of each round (halt=false)
+// or when the node function returns (halt=true). The last arriver performs
+// message delivery, bumps the round counter and wakes everyone.
+func (net *Network) barrier(c *Ctx, halt bool) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if halt {
+		c.halted = true
+		net.running--
+		if net.waiting == net.running && net.running > 0 {
+			net.completeRound()
+		} else if net.running == 0 {
+			// Everyone done; nothing to deliver.
+			net.cond.Broadcast()
+		}
+		return
+	}
+	myGen := net.gen
+	net.waiting++
+	if net.waiting == net.running {
+		net.completeRound()
+	} else {
+		for net.gen == myGen {
+			net.cond.Wait()
+		}
+	}
+}
+
+// completeRound delivers staged messages, clears outboxes, increments the
+// round counter and releases the barrier. Caller holds net.mu.
+func (net *Network) completeRound() {
+	if net.stats != nil {
+		net.recordMessages()
+	}
+	// Clear all inboxes (halted nodes too; harmless).
+	for _, c := range net.ctxs {
+		for p := range c.in {
+			c.in[p] = nil
+		}
+	}
+	// Deliver: message staged by v on port p arrives at u := ports[v][p]
+	// on port rev[v][p].
+	for v, c := range net.ctxs {
+		for p, msg := range c.out {
+			if msg == nil {
+				continue
+			}
+			u := net.ports[v][p]
+			net.ctxs[u].in[net.rev[v][p]] = msg
+			c.out[p] = nil
+		}
+	}
+	net.rounds++
+	net.waiting = 0
+	net.gen++
+	net.cond.Broadcast()
+}
+
+// Accountant aggregates rounds across the phases of a composite algorithm.
+type Accountant struct {
+	phases []PhaseStat
+}
+
+// PhaseStat records the round cost of one named phase.
+type PhaseStat struct {
+	Name   string
+	Rounds int
+}
+
+// Charge adds rounds under the given phase name.
+func (a *Accountant) Charge(name string, rounds int) {
+	a.phases = append(a.phases, PhaseStat{Name: name, Rounds: rounds})
+}
+
+// Total returns the summed rounds over all phases.
+func (a *Accountant) Total() int {
+	t := 0
+	for _, p := range a.phases {
+		t += p.Rounds
+	}
+	return t
+}
+
+// Phases returns a copy of the per-phase breakdown.
+func (a *Accountant) Phases() []PhaseStat {
+	return append([]PhaseStat(nil), a.phases...)
+}
+
+// String renders the breakdown, e.g. "linial:5 + layers:12 = 17".
+func (a *Accountant) String() string {
+	s := ""
+	for i, p := range a.phases {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%s:%d", p.Name, p.Rounds)
+	}
+	return fmt.Sprintf("%s = %d", s, a.Total())
+}

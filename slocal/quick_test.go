@@ -1,0 +1,73 @@
+package slocal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacolor/graph/gen"
+	"deltacolor/verify"
+)
+
+// Property: DeltaColor yields a valid Δ-coloring for every random order
+// on every feasible random regular graph.
+func TestQuickDeltaColorAllOrders(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 3 + rng.Intn(3)
+		n := 24 + rng.Intn(40)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := gen.RandomRegular(rng, n, d)
+		if err != nil {
+			return true
+		}
+		colors, locality, err := DeltaColor(g, rng.Perm(g.N()))
+		if err != nil {
+			return false
+		}
+		if verify.DeltaColoring(g, colors, d) != nil {
+			return false
+		}
+		return locality >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Run visits every node exactly once and reports a locality
+// that is the max over per-step touches.
+func TestQuickRunLocalityIsMax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(24)
+		g := gen.Cycle(n)
+		order := rng.Perm(n)
+		visited := make([]bool, n)
+		res, err := Run(g, order, 2, func(s *State) {
+			if visited[s.Center] {
+				return
+			}
+			visited[s.Center] = true
+			// Touch a distance-2 node for even centers, distance-0 for odd.
+			if s.Center%2 == 0 {
+				s.Read((s.Center + 2) % n)
+			}
+			s.Write(s.Center, 1)
+		})
+		if err != nil {
+			return false
+		}
+		for _, v := range visited {
+			if !v {
+				return false
+			}
+		}
+		return res.MaxLocality == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package slocal implements the SLOCAL model (sequential LOCAL, [GKM17]),
+// which Remark 17 of the paper invokes: nodes are processed one at a time
+// in an adversarial order; when processed, a node reads everything within
+// its locality radius — including the outputs already written by earlier
+// nodes — and irrevocably writes its own output.
+//
+// Theorem 5 (distributed Brooks) yields an SLOCAL(O(log_Δ n)) algorithm
+// for Δ-coloring: process nodes in any order; each node greedily takes a
+// free color, and when none exists it runs the Brooks token walk inside
+// its O(log_Δ n)-ball, recoloring only nodes inside the ball. DeltaColor
+// implements exactly that; Run is the generic executor that measures the
+// locality any SLOCAL algorithm actually used.
+package slocal
+
+import (
+	"fmt"
+
+	"deltacolor/graph"
+	"deltacolor/internal/brooks"
+	"deltacolor/verify"
+)
+
+// State is the view handed to a node being processed: the graph, the
+// per-node outputs written so far (nil for unwritten), and the processed
+// node's ID. Output writes go through Write, which enforces the locality
+// radius the algorithm declared.
+type State struct {
+	G      *graph.G
+	Center int
+	radius int
+	outs   []any
+	// touched collects the max distance from Center at which this step
+	// read or wrote.
+	touched int
+}
+
+// Read returns node v's output (nil if not yet written), charging the
+// distance from the processed node.
+func (s *State) Read(v int) any {
+	s.charge(v)
+	return s.outs[v]
+}
+
+// Write sets node v's output, charging the distance. SLOCAL algorithms
+// may rewrite outputs inside their ball (that is what makes Δ-coloring
+// expressible); writes beyond the declared radius panic.
+func (s *State) Write(v int, out any) {
+	s.charge(v)
+	s.outs[v] = out
+}
+
+func (s *State) charge(v int) {
+	d := distOf(s.G, s.Center, v, s.radius)
+	if d < 0 {
+		panic(fmt.Sprintf("slocal: node %d touched %d outside its radius-%d ball", s.Center, v, s.radius))
+	}
+	if d > s.touched {
+		s.touched = d
+	}
+}
+
+func distOf(g *graph.G, from, to, limit int) int {
+	if from == to {
+		return 0
+	}
+	res := g.BFSLimited(from, limit)
+	if res.Dist[to] < 0 || res.Dist[to] > limit {
+		return -1
+	}
+	return res.Dist[to]
+}
+
+// Result reports an SLOCAL execution.
+type Result struct {
+	Outputs []any
+	// MaxLocality is the largest radius any node actually touched; the
+	// SLOCAL complexity of the run.
+	MaxLocality int
+}
+
+// Run executes an SLOCAL algorithm: for each node in order (every node
+// exactly once), step is called with a State allowing reads/writes within
+// the declared radius. Returns the outputs and the measured locality.
+func Run(g *graph.G, order []int, radius int, step func(*State)) (*Result, error) {
+	if len(order) != g.N() {
+		return nil, fmt.Errorf("slocal: order has %d entries for %d nodes", len(order), g.N())
+	}
+	seen := make([]bool, g.N())
+	for _, v := range order {
+		if v < 0 || v >= g.N() || seen[v] {
+			return nil, fmt.Errorf("slocal: order is not a permutation (node %d)", v)
+		}
+		seen[v] = true
+	}
+	outs := make([]any, g.N())
+	maxLoc := 0
+	for _, v := range order {
+		st := &State{G: g, Center: v, radius: radius, outs: outs}
+		step(st)
+		if st.touched > maxLoc {
+			maxLoc = st.touched
+		}
+	}
+	return &Result{Outputs: outs, MaxLocality: maxLoc}, nil
+}
+
+// DeltaColor runs the Remark 17 SLOCAL Δ-coloring: greedy where possible,
+// Brooks token walk inside the ball otherwise. The order is adversarial —
+// any permutation yields a valid Δ-coloring with locality O(log_Δ n).
+func DeltaColor(g *graph.G, order []int) (colors []int, locality int, err error) {
+	delta := g.MaxDegree()
+	if delta < 3 {
+		return nil, 0, fmt.Errorf("slocal: Δ=%d < 3", delta)
+	}
+	radius := 3*brooks.SearchRadius(g.N(), delta) + 1
+
+	res, err := Run(g, order, radius, func(s *State) {
+		v := s.Center
+		// Greedy: find a free color against already-written neighbors.
+		used := make([]bool, delta)
+		for _, u := range s.G.Neighbors(v) {
+			if c, ok := s.Read(u).(int); ok {
+				used[c] = true
+			}
+		}
+		for c := 0; c < delta; c++ {
+			if !used[c] {
+				s.Write(v, c)
+				return
+			}
+		}
+		// Stuck: run the Brooks walk on the current partial coloring.
+		partial := make([]int, s.G.N())
+		for u := 0; u < s.G.N(); u++ {
+			partial[u] = -1
+			if c, ok := s.outs[u].(int); ok {
+				partial[u] = c
+			}
+		}
+		fix, err := brooks.FixOne(s.G, partial, v, delta)
+		if err != nil {
+			panic(fmt.Sprintf("slocal: brooks at %d: %v", v, err))
+		}
+		for u := 0; u < s.G.N(); u++ {
+			if fix.Colors[u] != partial[u] || u == v {
+				if fix.Colors[u] >= 0 {
+					s.Write(u, fix.Colors[u])
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	colors = make([]int, g.N())
+	for v := range colors {
+		c, ok := res.Outputs[v].(int)
+		if !ok {
+			return nil, 0, fmt.Errorf("slocal: node %d left uncolored", v)
+		}
+		colors[v] = c
+	}
+	if err := verify.DeltaColoring(g, colors, delta); err != nil {
+		return nil, 0, err
+	}
+	return colors, res.MaxLocality, nil
+}

@@ -1,0 +1,136 @@
+package slocal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deltacolor/graph"
+	"deltacolor/graph/gen"
+	"deltacolor/verify"
+)
+
+func TestRunRejectsBadOrders(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := Run(g, []int{0, 1, 2}, 1, func(*State) {}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := Run(g, []int{0, 1, 2, 2}, 1, func(*State) {}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := Run(g, []int{0, 1, 2, 9}, 1, func(*State) {}); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+}
+
+func TestRunMeasuresLocality(t *testing.T) {
+	g := gen.Path(9)
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := Run(g, order, 3, func(s *State) {
+		// Each node reads its neighbor two hops away when it exists.
+		v := s.Center
+		if v+2 < s.G.N() {
+			s.Read(v + 2)
+		}
+		s.Write(v, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLocality != 2 {
+		t.Fatalf("locality = %d, want 2", res.MaxLocality)
+	}
+}
+
+func TestRunPanicsOutsideRadius(t *testing.T) {
+	g := gen.Path(9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read at distance 5 with radius 2 did not panic")
+		}
+	}()
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	_, _ = Run(g, order, 2, func(s *State) {
+		if s.Center == 0 {
+			s.Read(5)
+		}
+		s.Write(s.Center, 0)
+	})
+}
+
+func TestDeltaColorVariousOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.MustRandomRegular(rng, 128, 4)
+	n := g.N()
+
+	orders := map[string][]int{
+		"identity": seq(n),
+		"reverse":  rev(n),
+		"random":   rng.Perm(n),
+	}
+	bound := 3*searchBound(n, 4) + 1
+	for name, order := range orders {
+		colors, loc, err := DeltaColor(g, order)
+		if err != nil {
+			t.Fatalf("%s order: %v", name, err)
+		}
+		if err := verify.DeltaColoring(g, colors, 4); err != nil {
+			t.Fatalf("%s order: %v", name, err)
+		}
+		if loc > bound {
+			t.Fatalf("%s order: locality %d > bound %d", name, loc, bound)
+		}
+	}
+}
+
+func TestDeltaColorStructuredFamilies(t *testing.T) {
+	families := []*graph.G{
+		gen.Torus(8, 8),
+		gen.Hypercube(4),
+		gen.Petersen(),
+		gen.CliqueChain(4, 4),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i, g := range families {
+		order := rng.Perm(g.N())
+		colors, _, err := DeltaColor(g, order)
+		if err != nil {
+			t.Fatalf("family %d: %v", i, err)
+		}
+		if err := verify.DeltaColoring(g, colors, g.MaxDegree()); err != nil {
+			t.Fatalf("family %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeltaColorRejectsLowDegree(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, _, err := DeltaColor(g, seq(6)); err == nil {
+		t.Fatal("Δ=2 accepted")
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func rev(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+// searchBound mirrors brooks.SearchRadius for the locality assertion
+// without exporting it through the test.
+func searchBound(n, delta int) int {
+	return int(math.Ceil(2 * math.Log(float64(n)) / math.Log(float64(delta-1))))
+}

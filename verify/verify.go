@@ -1,0 +1,61 @@
+// Package verify bundles the output checkers shared by tests, examples and
+// the experiment harness.
+package verify
+
+import (
+	"fmt"
+
+	"deltacolor/graph"
+)
+
+// DeltaColoring checks that colors is a total proper coloring of g using
+// only colors in [0, delta).
+func DeltaColoring(g *graph.G, colors []int, delta int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("delta coloring: %d colors for %d nodes", len(colors), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		c := colors[v]
+		if c < 0 || c >= delta {
+			return fmt.Errorf("delta coloring: node %d has color %d outside [0,%d)", v, c, delta)
+		}
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == c {
+				return fmt.Errorf("delta coloring: edge (%d,%d) monochromatic (%d)", v, u, c)
+			}
+		}
+	}
+	return nil
+}
+
+// PartialColoring checks properness of a partial coloring (entries < 0
+// mean uncolored) with colors in [0, delta).
+func PartialColoring(g *graph.G, colors []int, delta int) error {
+	for v := 0; v < g.N(); v++ {
+		c := colors[v]
+		if c < 0 {
+			continue
+		}
+		if c >= delta {
+			return fmt.Errorf("partial coloring: node %d has color %d >= %d", v, c, delta)
+		}
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == c {
+				return fmt.Errorf("partial coloring: edge (%d,%d) monochromatic (%d)", v, u, c)
+			}
+		}
+	}
+	return nil
+}
+
+// CountColors returns the number of distinct colors used (ignoring
+// uncolored entries).
+func CountColors(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		if c >= 0 {
+			seen[c] = true
+		}
+	}
+	return len(seen)
+}

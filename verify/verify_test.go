@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"testing"
+
+	"deltacolor/graph"
+)
+
+func triangleWithTail() *graph.G {
+	// 0-1-2 triangle, 2-3 tail. Δ = 3.
+	g := graph.New(4)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(0, 2)
+	g.MustEdge(2, 3)
+	return g
+}
+
+func TestDeltaColoringAccepts(t *testing.T) {
+	g := triangleWithTail()
+	if err := DeltaColoring(g, []int{0, 1, 2, 0}, 3); err != nil {
+		t.Fatalf("valid coloring rejected: %v", err)
+	}
+}
+
+func TestDeltaColoringRejectsMonochromaticEdge(t *testing.T) {
+	g := triangleWithTail()
+	if err := DeltaColoring(g, []int{0, 1, 2, 2}, 3); err == nil {
+		t.Fatal("monochromatic edge 2-3 accepted")
+	}
+}
+
+func TestDeltaColoringRejectsOutOfRange(t *testing.T) {
+	g := triangleWithTail()
+	if err := DeltaColoring(g, []int{0, 1, 3, 0}, 3); err == nil {
+		t.Fatal("color 3 accepted with delta=3")
+	}
+	if err := DeltaColoring(g, []int{0, 1, -1, 0}, 3); err == nil {
+		t.Fatal("uncolored node accepted by total checker")
+	}
+}
+
+func TestDeltaColoringRejectsWrongLength(t *testing.T) {
+	g := triangleWithTail()
+	if err := DeltaColoring(g, []int{0, 1, 2}, 3); err == nil {
+		t.Fatal("short color slice accepted")
+	}
+}
+
+func TestPartialColoringAllowsUncolored(t *testing.T) {
+	g := triangleWithTail()
+	if err := PartialColoring(g, []int{0, -1, 2, -1}, 3); err != nil {
+		t.Fatalf("valid partial coloring rejected: %v", err)
+	}
+	// Conflicts between colored nodes are still caught.
+	if err := PartialColoring(g, []int{0, -1, 0, -1}, 3); err == nil {
+		t.Fatal("monochromatic edge 0-2 accepted by partial checker")
+	}
+	// Out-of-range colors are still caught.
+	if err := PartialColoring(g, []int{5, -1, -1, -1}, 3); err == nil {
+		t.Fatal("color 5 accepted with delta=3")
+	}
+}
+
+func TestCountColors(t *testing.T) {
+	tests := []struct {
+		colors []int
+		want   int
+	}{
+		{nil, 0},
+		{[]int{-1, -1}, 0},
+		{[]int{0, 0, 0}, 1},
+		{[]int{0, 1, 2, 1, -1}, 3},
+	}
+	for _, tc := range tests {
+		if got := CountColors(tc.colors); got != tc.want {
+			t.Fatalf("CountColors(%v) = %d, want %d", tc.colors, got, tc.want)
+		}
+	}
+}
