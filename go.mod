@@ -1,0 +1,3 @@
+module deltacolor
+
+go 1.24

@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"deltacolor/local"
+)
+
+// linialStep is one palette-reduction iteration: the incoming colors are
+// encoded as polynomials of degree d over GF(q) (q^(d+1) covers the
+// incoming palette) and remapped into [0, q²).
+type linialStep struct {
+	q int // prime modulus, q > Δ·d
+	d int // polynomial degree
+}
+
+// linialSchedule derives the deterministic iteration schedule from the
+// global parameters n and Δ. Every node computes the same schedule from
+// ctx.N() and ctx.MaxDegree(), so all nodes run the same number of rounds.
+func linialSchedule(n, delta int) []linialStep {
+	var steps []linialStep
+	k := n
+	for {
+		st, next := linialBestStep(k, delta)
+		if next >= k {
+			return steps
+		}
+		steps = append(steps, st)
+		k = next
+	}
+}
+
+// linialBestStep picks the degree d and prime q minimizing the outgoing
+// palette q². A step is sound when q > Δ·d (two distinct degree-d
+// polynomials agree on at most d points, so a node with at most Δ
+// differently colored neighbors always finds a clean evaluation point) and
+// q^(d+1) >= k (so every color has a distinct polynomial).
+func linialBestStep(k, delta int) (linialStep, int) {
+	best := linialStep{}
+	next := k
+	if delta < 1 {
+		return best, next
+	}
+	for d := 1; ; d++ {
+		lo := delta*d + 1
+		if lo*lo >= next {
+			// Larger degrees force q > Δ·d past the current best; stop.
+			return best, next
+		}
+		if r := intRoot(k, d+1); r > lo {
+			lo = r
+		}
+		q := nextPrime(lo)
+		if q*q < next {
+			best = linialStep{q: q, d: d}
+			next = q * q
+		}
+	}
+}
+
+// Linial computes an O(Δ²)-coloring in O(log* n) rounds: nodes start from
+// their IDs and run the schedule of polynomial reductions, broadcasting
+// their current color each round. It returns the coloring, the final
+// palette size k, and the number of rounds used.
+func Linial(net *local.Network) (colors []int, k, rounds int) {
+	g := net.Graph()
+	n := g.N()
+	delta := g.MaxDegree()
+	steps := linialSchedule(n, delta)
+
+	outs := net.Run(func(ctx *local.Ctx) {
+		color := ctx.ID()
+		nbr := make([]int, 0, ctx.Degree())
+		for _, st := range steps {
+			ctx.Broadcast(color)
+			ctx.Next()
+			nbr = nbr[:0]
+			for p := 0; p < ctx.Degree(); p++ {
+				if m := ctx.Recv(p); m != nil {
+					nbr = append(nbr, m.(int))
+				}
+			}
+			color = linialRecolor(color, nbr, st)
+		}
+		ctx.SetOutput(color)
+	})
+
+	colors = make([]int, n)
+	for v, o := range outs {
+		colors[v] = o.(int)
+	}
+	k = n
+	if len(steps) > 0 {
+		last := steps[len(steps)-1]
+		k = last.q * last.q
+	}
+	if k < 1 {
+		k = 1
+	}
+	return colors, k, net.Rounds()
+}
+
+// linialRecolor maps color c into [0, q²) given the neighbors' current
+// colors: find an evaluation point x where p_c differs from every
+// neighbor's polynomial, and emit (x, p_c(x)). At most Δ·d points are bad,
+// and q > Δ·d, so a clean point always exists for proper inputs.
+func linialRecolor(c int, nbrColors []int, st linialStep) int {
+	own := polyCoeffs(c, st.q, st.d)
+	nbr := make([][]int, 0, len(nbrColors))
+	for _, nc := range nbrColors {
+		if nc == c {
+			// Improper input; no point separates identical polynomials.
+			continue
+		}
+		nbr = append(nbr, polyCoeffs(nc, st.q, st.d))
+	}
+	for x := 0; x < st.q; x++ {
+		y := polyEval(own, x, st.q)
+		clean := true
+		for _, coef := range nbr {
+			if polyEval(coef, x, st.q) == y {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return x*st.q + y
+		}
+	}
+	return c % (st.q * st.q) // unreachable on proper inputs
+}
+
+// polyCoeffs encodes c as d+1 base-q digits (the coefficients of p_c).
+func polyCoeffs(c, q, d int) []int {
+	coef := make([]int, d+1)
+	for i := range coef {
+		coef[i] = c % q
+		c /= q
+	}
+	return coef
+}
+
+// polyEval evaluates the polynomial with the given coefficients at x mod q.
+func polyEval(coef []int, x, q int) int {
+	y := 0
+	for i := len(coef) - 1; i >= 0; i-- {
+		y = (y*x + coef[i]) % q
+	}
+	return y
+}
+
+// intRoot returns the smallest r >= 1 with r^e >= k.
+func intRoot(k, e int) int {
+	if k <= 1 {
+		return 1
+	}
+	r := 1
+	for ipow(r, e) < k {
+		r++
+	}
+	return r
+}
+
+// ipow computes b^e with saturation well above any palette size in use.
+func ipow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+		if p > 1<<40 {
+			return p
+		}
+	}
+	return p
+}
+
+// nextPrime returns the smallest prime >= x.
+func nextPrime(x int) int {
+	if x <= 2 {
+		return 2
+	}
+	for n := x; ; n++ {
+		if isPrime(n) {
+			return n
+		}
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,303 @@
+package dist
+
+import (
+	"fmt"
+
+	"deltacolor/graph"
+	"deltacolor/local"
+)
+
+// ListInstance is a (deg+1)-list-coloring instance over a layer of active
+// nodes: every active node must pick a color from its list, and the lists
+// already exclude the colors of finished neighbors (the partial coloring
+// the layer is solved against).
+type ListInstance struct {
+	Active []bool  // nodes to color
+	Lists  [][]int // Lists[v]: allowed colors for active v, ascending
+	Delta  int     // palette bound: all list colors lie in [0, Delta)
+}
+
+// NewListInstance builds the instance for one layer: the list of an active
+// node is [0, delta) minus the colors its already colored neighbors hold in
+// partial (-1 = uncolored). active == nil activates every node.
+func NewListInstance(g *graph.G, active []bool, partial []int, delta int) *ListInstance {
+	n := g.N()
+	act := make([]bool, n)
+	for v := 0; v < n; v++ {
+		act[v] = active == nil || active[v]
+	}
+	lists := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if !act[v] {
+			continue
+		}
+		used := make([]bool, delta)
+		for _, u := range g.Neighbors(v) {
+			if c := partial[u]; c >= 0 && c < delta {
+				used[c] = true
+			}
+		}
+		list := make([]int, 0, delta)
+		for c := 0; c < delta; c++ {
+			if !used[c] {
+				list = append(list, c)
+			}
+		}
+		lists[v] = list
+	}
+	return &ListInstance{Active: act, Lists: lists, Delta: delta}
+}
+
+// CheckDegPlusOne verifies the layering invariant that makes the instance
+// always solvable: every active node's list strictly exceeds its degree in
+// the active subgraph.
+func (li *ListInstance) CheckDegPlusOne(g *graph.G) error {
+	for v := 0; v < g.N(); v++ {
+		if !li.Active[v] {
+			continue
+		}
+		deg := 0
+		for _, u := range g.Neighbors(v) {
+			if li.Active[u] {
+				deg++
+			}
+		}
+		if len(li.Lists[v]) < deg+1 {
+			return fmt.Errorf("list instance: node %d has %d list colors for active degree %d", v, len(li.Lists[v]), deg)
+		}
+	}
+	return nil
+}
+
+// listMsg is the list-coloring payload: whether the sender's color is
+// final, the color itself (proposal or final; -1 = none) and the sender ID
+// for proposal tie-breaking.
+type listMsg struct {
+	Done  bool
+	Color int32
+	ID    int32
+}
+
+// ListColorRandomized solves the instance with random color trials: each
+// uncolored node proposes a uniform color from its remaining list; a
+// proposal is kept unless a finished neighbor owns the color or a proposing
+// neighbor with smaller ID picked it too. Kept colors are final; neighbors
+// prune them from their lists. Nodes halt once their whole neighborhood is
+// finished, so the returned rounds are the measured cost, O(log n) w.h.p.
+// on (deg+1)-instances. Nodes still uncolored at the phase cap are reported
+// as an error (callers defer them to the repair pass).
+func ListColorRandomized(net *local.Network, li *ListInstance) ([]int, int, error) {
+	g := net.Graph()
+	n := g.N()
+	maxPhases := 16
+	for top := n + 2; top > 1; top /= 2 {
+		maxPhases += 6
+	}
+
+	outs := net.RunWithInput(func(ctx *local.Ctx) {
+		if !ctx.Input().(bool) {
+			ctx.Broadcast(listMsg{Done: true, Color: -1, ID: int32(ctx.ID())})
+			ctx.Next()
+			ctx.SetOutput(-1)
+			return
+		}
+		list := append([]int(nil), li.Lists[ctx.ID()]...)
+		color := -1
+		stuck := false                      // list ran dry (infeasible instance)
+		known := make([]byte, ctx.Degree()) // misUnknown / misUndecided-style tracking
+		finals := make(map[int]bool)        // colors finalized in the neighborhood
+		propose := -1
+		for phase := 0; phase < maxPhases; phase++ {
+			// Round A: exchange proposals and finished states.
+			propose = -1
+			if color < 0 && !stuck {
+				propose = list[ctx.Rand().Intn(len(list))]
+			}
+			ctx.Broadcast(listMsg{Done: color >= 0 || stuck, Color: int32(pick(color, propose)), ID: int32(ctx.ID())})
+			ctx.Next()
+			type prop struct {
+				color int
+				id    int
+			}
+			props := make([]prop, 0, ctx.Degree())
+			for p := 0; p < ctx.Degree(); p++ {
+				m := ctx.Recv(p)
+				if m == nil {
+					continue
+				}
+				mm := m.(listMsg)
+				if mm.Done {
+					known[p] = misIn
+					if mm.Color >= 0 {
+						finals[int(mm.Color)] = true
+					}
+				} else {
+					known[p] = misUndecided
+					if mm.Color >= 0 {
+						props = append(props, prop{color: int(mm.Color), id: int(mm.ID)})
+					}
+				}
+			}
+			if color >= 0 || stuck {
+				done := true
+				for p := 0; p < ctx.Degree(); p++ {
+					if known[p] != misIn {
+						done = false
+						break
+					}
+				}
+				if done {
+					break
+				}
+			}
+			if color < 0 && propose >= 0 && !finals[propose] {
+				keep := true
+				for _, pr := range props {
+					if pr.color == propose && pr.id < ctx.ID() {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					color = propose
+				}
+			}
+			// Round B: announce the outcome; neighbors prune kept colors.
+			ctx.Broadcast(listMsg{Done: color >= 0 || stuck, Color: int32(color), ID: int32(ctx.ID())})
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				m := ctx.Recv(p)
+				if m == nil {
+					continue
+				}
+				mm := m.(listMsg)
+				if mm.Done {
+					known[p] = misIn
+					if mm.Color >= 0 {
+						finals[int(mm.Color)] = true
+					}
+				}
+			}
+			if color < 0 {
+				pruned := list[:0]
+				for _, c := range list {
+					if !finals[c] {
+						pruned = append(pruned, c)
+					}
+				}
+				list = pruned
+				// An empty list means the instance is infeasible for this
+				// node; it announces Done(-1) next round so neighbors halt.
+				stuck = len(list) == 0
+			}
+		}
+		ctx.SetOutput(color)
+	}, activeInputs(li.Active))
+
+	colors := make([]int, n)
+	for v, o := range outs {
+		colors[v] = o.(int)
+	}
+	return colors, net.Rounds(), checkInstanceSolved(g, li, colors)
+}
+
+// ListColorDeterministic solves the instance scheduled by the classes of a
+// proper base coloring (typically Linial's): in the round dedicated to
+// class c, every uncolored active node of that class — an independent set —
+// takes the smallest list color not finalized in its neighborhood. On a
+// (deg+1)-instance every node succeeds, in exactly baseK rounds.
+func ListColorDeterministic(net *local.Network, li *ListInstance, baseColors []int, baseK int) ([]int, int, error) {
+	g := net.Graph()
+	n := g.N()
+	if len(baseColors) != n {
+		return nil, 0, fmt.Errorf("deterministic list coloring: got %d base colors for %d nodes", len(baseColors), n)
+	}
+	for v := 0; v < n; v++ {
+		if baseColors[v] < 0 || baseColors[v] >= baseK {
+			return nil, 0, fmt.Errorf("deterministic list coloring: node %d has base class %d outside [0, %d)", v, baseColors[v], baseK)
+		}
+	}
+	for _, e := range g.Edges() {
+		if li.Active[e[0]] && li.Active[e[1]] && baseColors[e[0]] == baseColors[e[1]] {
+			return nil, 0, fmt.Errorf("deterministic list coloring: base classes not proper on edge (%d,%d)", e[0], e[1])
+		}
+	}
+
+	outs := net.RunWithInput(func(ctx *local.Ctx) {
+		active := ctx.Input().(bool)
+		color := -1
+		finals := make(map[int]bool)
+		for class := 0; class < baseK; class++ {
+			ctx.Broadcast(listMsg{Done: color >= 0, Color: int32(color), ID: int32(ctx.ID())})
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if m := ctx.Recv(p); m != nil {
+					if mm := m.(listMsg); mm.Done && mm.Color >= 0 {
+						finals[int(mm.Color)] = true
+					}
+				}
+			}
+			if active && color < 0 && baseColors[ctx.ID()] == class {
+				for _, c := range li.Lists[ctx.ID()] {
+					if !finals[c] {
+						color = c
+						break
+					}
+				}
+			}
+		}
+		ctx.SetOutput(color)
+	}, activeInputs(li.Active))
+
+	colors := make([]int, n)
+	for v, o := range outs {
+		colors[v] = o.(int)
+	}
+	return colors, net.Rounds(), checkInstanceSolved(g, li, colors)
+}
+
+// activeInputs exposes the active flags as per-node inputs.
+func activeInputs(active []bool) []any {
+	inputs := make([]any, len(active))
+	for v := range active {
+		inputs[v] = active[v]
+	}
+	return inputs
+}
+
+// pick returns the final color when set, the proposal otherwise.
+func pick(color, propose int) int {
+	if color >= 0 {
+		return color
+	}
+	return propose
+}
+
+// checkInstanceSolved verifies that every active node took a color from its
+// list and no two adjacent active nodes collide.
+func checkInstanceSolved(g *graph.G, li *ListInstance, colors []int) error {
+	for v := 0; v < g.N(); v++ {
+		if !li.Active[v] {
+			continue
+		}
+		if colors[v] < 0 {
+			return fmt.Errorf("list coloring: node %d left uncolored", v)
+		}
+		inList := false
+		for _, c := range li.Lists[v] {
+			if c == colors[v] {
+				inList = true
+				break
+			}
+		}
+		if !inList {
+			return fmt.Errorf("list coloring: node %d took color %d outside its list", v, colors[v])
+		}
+	}
+	for _, e := range g.Edges() {
+		if li.Active[e[0]] && li.Active[e[1]] && colors[e[0]] == colors[e[1]] {
+			return fmt.Errorf("list coloring: edge (%d,%d) monochromatic in %d", e[0], e[1], colors[e[0]])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"deltacolor/local"
+)
+
+// Node states exchanged by the MIS protocol.
+const (
+	misUnknown byte = iota // placeholder before the first message arrives
+	misUndecided
+	misIn
+	misOut
+	misInactive
+)
+
+// misMsg is the per-round payload: sender state, lottery value (only
+// meaningful while undecided) and sender ID for tie-breaking.
+type misMsg struct {
+	State byte
+	R     uint64
+	ID    int32
+}
+
+// misDecided reports whether a known neighbor state is final.
+func misDecided(s byte) bool { return s == misIn || s == misOut || s == misInactive }
+
+// LubyMIS computes a maximal independent set of G[active] with Luby's
+// algorithm (active == nil means all nodes participate). Each phase costs
+// two rounds: undecided nodes draw a lottery value and broadcast it; a node
+// whose (value, ID) pair is a strict local minimum among undecided active
+// neighbors joins the MIS; joiners announce themselves and their neighbors
+// drop out. A node halts once it and all its neighbors are decided, so the
+// returned round count is the measured cost, O(log n) w.h.p.
+func LubyMIS(net *local.Network, active []bool) (inMIS []bool, rounds int) {
+	g := net.Graph()
+	n := g.N()
+	var inputs []any
+	if active != nil {
+		inputs = make([]any, n)
+		for v := 0; v < n; v++ {
+			inputs[v] = active[v]
+		}
+	}
+
+	maxPhases := 4*n + 16 // termination backstop; never reached in practice
+
+	outs := net.RunWithInput(func(ctx *local.Ctx) {
+		if in, ok := ctx.Input().(bool); ok && !in {
+			// Inactive: announce once so neighbors can discount this port.
+			ctx.Broadcast(misMsg{State: misInactive, ID: int32(ctx.ID())})
+			ctx.Next()
+			ctx.SetOutput(false)
+			return
+		}
+		state := misUndecided
+		known := make([]byte, ctx.Degree())
+		knownR := make([]uint64, ctx.Degree())
+		knownID := make([]int32, ctx.Degree())
+		for phase := 0; phase < maxPhases; phase++ {
+			// Round A: lottery + state exchange.
+			var r uint64
+			if state == misUndecided {
+				r = ctx.Rand().Uint64()
+			}
+			ctx.Broadcast(misMsg{State: state, R: r, ID: int32(ctx.ID())})
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if m := ctx.Recv(p); m != nil {
+					mm := m.(misMsg)
+					known[p], knownR[p], knownID[p] = mm.State, mm.R, mm.ID
+				}
+			}
+			if misDecided(state) {
+				done := true
+				for p := 0; p < ctx.Degree(); p++ {
+					if !misDecided(known[p]) {
+						done = false
+						break
+					}
+				}
+				if done {
+					// Neighbors saw this node's final state in round A and
+					// treat silence as "unchanged"; safe to halt.
+					break
+				}
+			}
+			if state == misUndecided {
+				win := true
+				for p := 0; p < ctx.Degree(); p++ {
+					if known[p] != misUndecided {
+						continue
+					}
+					if knownR[p] < r || (knownR[p] == r && int(knownID[p]) < ctx.ID()) {
+						win = false
+						break
+					}
+				}
+				if win {
+					state = misIn
+				}
+			}
+			// Round B: announce joins.
+			ctx.Broadcast(misMsg{State: state, ID: int32(ctx.ID())})
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if m := ctx.Recv(p); m != nil {
+					known[p] = m.(misMsg).State
+				}
+			}
+			if state == misUndecided {
+				for p := 0; p < ctx.Degree(); p++ {
+					if known[p] == misIn {
+						state = misOut
+						break
+					}
+				}
+			}
+		}
+		ctx.SetOutput(state == misIn)
+	}, inputs)
+
+	inMIS = make([]bool, n)
+	for v, o := range outs {
+		inMIS[v] = o.(bool)
+	}
+	return inMIS, net.Rounds()
+}

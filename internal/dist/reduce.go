@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"fmt"
+
+	"deltacolor/local"
+)
+
+// ReduceColors reduces a proper k-coloring to a proper target-coloring with
+// the classic one-color-class-per-round schedule: in the round dedicated to
+// class c (from k-1 down to target), every node holding c — an independent
+// set, since the coloring stays proper throughout — picks a free color in
+// [0, target). With target >= Δ+1 a free color always exists; otherwise the
+// stuck nodes keep their old color and an error reports them.
+//
+// It returns the new coloring, the rounds used (k - target), and an error
+// when the input is not a proper coloring in [0, k) or some node could not
+// be recolored below target.
+func ReduceColors(net *local.Network, base []int, k, target int) ([]int, int, error) {
+	g := net.Graph()
+	n := g.N()
+	if len(base) != n {
+		return nil, 0, fmt.Errorf("reduce colors: got %d base colors for %d nodes", len(base), n)
+	}
+	if target < 1 {
+		return nil, 0, fmt.Errorf("reduce colors: target %d < 1", target)
+	}
+	for v := 0; v < n; v++ {
+		if base[v] < 0 || base[v] >= k {
+			return nil, 0, fmt.Errorf("reduce colors: node %d has color %d outside [0, %d)", v, base[v], k)
+		}
+	}
+	for _, e := range g.Edges() {
+		if base[e[0]] == base[e[1]] {
+			return nil, 0, fmt.Errorf("reduce colors: input not proper: edge (%d,%d) both colored %d", e[0], e[1], base[e[0]])
+		}
+	}
+	if k <= target {
+		return append([]int(nil), base...), 0, nil
+	}
+
+	inputs := make([]any, n)
+	for v := range inputs {
+		inputs[v] = base[v]
+	}
+	outs := net.RunWithInput(func(ctx *local.Ctx) {
+		color := ctx.Input().(int)
+		for c := k - 1; c >= target; c-- {
+			ctx.Broadcast(color)
+			ctx.Next()
+			if color != c {
+				continue
+			}
+			used := make([]bool, target)
+			for p := 0; p < ctx.Degree(); p++ {
+				if m := ctx.Recv(p); m != nil {
+					if nc := m.(int); nc < target {
+						used[nc] = true
+					}
+				}
+			}
+			for f := 0; f < target; f++ {
+				if !used[f] {
+					color = f
+					break
+				}
+			}
+			// No free color (target <= degree): keep the old color so
+			// neighbors still see a consistent palette; reported below.
+		}
+		ctx.SetOutput(color)
+	}, inputs)
+
+	colors := make([]int, n)
+	for v, o := range outs {
+		colors[v] = o.(int)
+	}
+	for v := 0; v < n; v++ {
+		if colors[v] >= target {
+			return colors, net.Rounds(), fmt.Errorf("reduce colors: node %d stuck at color %d >= target %d (degree %d)", v, colors[v], target, g.Deg(v))
+		}
+	}
+	return colors, net.Rounds(), nil
+}

@@ -1,0 +1,28 @@
+package dist
+
+import (
+	"fmt"
+
+	"deltacolor/graph"
+	"deltacolor/verify"
+)
+
+// VerifyColoring is the centralized checker every algorithm runs before
+// returning: all nodes colored (>= 0) and no monochromatic edge. Palette
+// bounds (colors < Δ) are the caller's contract and checked separately;
+// the properness check itself is delegated to the shared verify package.
+func VerifyColoring(g *graph.G, colors []int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("verify coloring: %d colors for %d nodes", len(colors), g.N())
+	}
+	maxC := 0
+	for v := 0; v < g.N(); v++ {
+		if colors[v] < 0 {
+			return fmt.Errorf("verify coloring: node %d uncolored", v)
+		}
+		if colors[v] > maxC {
+			maxC = colors[v]
+		}
+	}
+	return verify.PartialColoring(g, colors, maxC+1)
+}

@@ -1,6 +1,8 @@
 package gallai
 
 import (
+	"sort"
+
 	"deltacolor/graph"
 )
 
@@ -56,15 +58,19 @@ func cycleDCC(g *graph.G, v, r int) []int {
 			inCyc[u] = true
 		}
 		cand := map[int]int{}
+		var candOrder []int // deterministic ear order (map range varies per run)
 		for _, u := range cyc {
 			for _, x := range g.Neighbors(u) {
 				if !inCyc[x] {
+					if cand[x] == 0 {
+						candOrder = append(candOrder, x)
+					}
 					cand[x]++
 				}
 			}
 		}
-		for x, cnt := range cand {
-			if cnt < 2 {
+		for _, x := range candOrder {
+			if cand[x] < 2 {
 				continue
 			}
 			ext := append(append([]int(nil), cyc...), x)
@@ -139,6 +145,7 @@ func shortCyclesThrough(g *graph.G, v, r int) [][]int {
 		for u := range set {
 			nodes = append(nodes, u)
 		}
+		sort.Ints(nodes) // map range order varies per run; callers need stable sets
 		out = append(out, nodes)
 	}
 	return out
