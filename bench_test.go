@@ -12,7 +12,9 @@ import (
 
 	"deltacolor"
 	"deltacolor/graph/gen"
+	"deltacolor/internal/dist"
 	"deltacolor/internal/exp"
+	"deltacolor/local"
 )
 
 func runExperiment(b *testing.B, f func(exp.Config) *exp.Table) {
@@ -79,3 +81,32 @@ func BenchmarkColorNetDecN1024D4(b *testing.B) {
 }
 
 func BenchmarkE11Congest(b *testing.B) { runExperiment(b, exp.E11Congest) }
+
+func BenchmarkE12Runtime(b *testing.B) { runExperiment(b, exp.E12Runtime) }
+
+// Scheduler micro-benchmarks: network construction on a dense graph (the
+// linear-time reverse-port build) and a full dist primitive at scale (the
+// sharded barrier and active-set delivery).
+
+func BenchmarkNewNetworkClique2048(b *testing.B) {
+	g := gen.Complete(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net := local.NewNetwork(g, 1); net.Graph() != g {
+			b.Fatal("bad network")
+		}
+	}
+}
+
+func BenchmarkLinial100kRandomRegular(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.MustRandomRegular(rng, 100_000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := local.NewNetwork(g, 7)
+		colors, _, rounds := dist.Linial(net)
+		if rounds <= 0 || len(colors) != g.N() {
+			b.Fatal("bad Linial run")
+		}
+	}
+}

@@ -1,11 +1,13 @@
-// Command benchsuite runs the experiment suite E1–E10 (DESIGN.md §4) at
+// Command benchsuite runs the experiment suite E1–E12 (DESIGN.md §4) at
 // full scale and prints every table as markdown — the exact content
 // EXPERIMENTS.md records. Use -quick for a smoke-scale pass and -only to
-// select individual experiments.
+// select individual experiments. E12 is the runtime-throughput benchmark;
+// -runtimejson additionally serializes its report (BENCH_runtime.json).
 //
 //	go run ./cmd/benchsuite                  # full suite (minutes)
 //	go run ./cmd/benchsuite -quick           # smoke scale (seconds)
 //	go run ./cmd/benchsuite -only E4,E6      # a subset
+//	go run ./cmd/benchsuite -only E12 -runtimejson BENCH_runtime.json
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "experiment seed")
 		only   = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
 		csvOut = flag.Bool("csv", false, "emit CSV instead of markdown (notes omitted)")
+		rtJSON = flag.String("runtimejson", "", "write the E12 runtime report to this path (implies running E12)")
 	)
 	flag.Parse()
 
@@ -55,12 +58,7 @@ func main() {
 	cfg := exp.Config{Quick: *quick, Seed: *seed}
 	start := time.Now()
 	ran := 0
-	for _, r := range runners {
-		if len(want) > 0 && !want[r.id] {
-			continue
-		}
-		t0 := time.Now()
-		table := r.f(cfg)
+	emit := func(id string, table *exp.Table, t0 time.Time) {
 		if *csvOut {
 			fmt.Printf("# %s — %s\n", table.ID, table.Title)
 			if err := table.CSV(os.Stdout); err != nil {
@@ -71,8 +69,37 @@ func main() {
 		} else {
 			table.Markdown(os.Stdout)
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", r.id, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(t0).Round(time.Millisecond))
 		ran++
+	}
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t0 := time.Now()
+		emit(r.id, r.f(cfg), t0)
+	}
+	// E12 runs once even when both selected and exported as JSON.
+	if len(want) == 0 || want["E12"] || *rtJSON != "" {
+		t0 := time.Now()
+		rep := exp.RuntimeThroughput(cfg)
+		emit("E12", rep.Table(), t0)
+		if *rtJSON != "" {
+			f, err := os.Create(*rtJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "runtimejson: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "runtimejson: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "runtimejson: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *rtJSON)
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)

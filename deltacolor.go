@@ -25,7 +25,9 @@
 package deltacolor
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"deltacolor/graph"
 	"deltacolor/internal/baseline"
@@ -104,10 +106,47 @@ var (
 	ErrNotNice        = core.ErrNotNice
 )
 
+// ErrBadOptions is the sentinel all option-validation errors wrap; match
+// with errors.Is(err, ErrBadOptions).
+var ErrBadOptions = errors.New("invalid options")
+
+// OptionError reports a single invalid Options field. It wraps
+// ErrBadOptions for errors.Is matching.
+type OptionError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("deltacolor: invalid option %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+func (e *OptionError) Unwrap() error { return ErrBadOptions }
+
+// validate rejects option values that the algorithm knobs cannot
+// meaningfully interpret; zero values always pass (they select the
+// paper's defaults via core.RandOptions.AutoParams).
+func (opts Options) validate() error {
+	if opts.R < 0 {
+		return &OptionError{Field: "R", Value: opts.R, Reason: "DCC radius must be >= 0 (0 = auto)"}
+	}
+	if opts.Backoff < 0 {
+		return &OptionError{Field: "Backoff", Value: opts.Backoff, Reason: "marking backoff must be >= 0 (0 = auto)"}
+	}
+	if opts.P < 0 || opts.P > 1 || math.IsNaN(opts.P) {
+		return &OptionError{Field: "P", Value: opts.P, Reason: "selection probability must lie in (0, 1] (0 = auto)"}
+	}
+	return nil
+}
+
 // Color computes a Δ-coloring of g. The graph must be "nice" per the
 // paper: every connected component is neither a path, a cycle, nor a
 // clique, and Δ >= 3 (otherwise a typed error is returned).
 func Color(g *graph.G, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	alg := opts.Algorithm
 	if alg == 0 {
 		alg = AlgAuto
@@ -157,7 +196,7 @@ func Color(g *graph.G, opts Options) (*Result, error) {
 			Algorithm: AlgBaseline,
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %v", alg)
+		return nil, &OptionError{Field: "Algorithm", Value: alg, Reason: "unknown algorithm"}
 	}
 }
 

@@ -1,0 +1,101 @@
+package deltacolor_test
+
+// Golden determinism regression for the scheduler rework: for fixed seeds,
+// every algorithm must return byte-identical colors, round counts and
+// phase breakdowns across runtime changes. The golden values below were
+// captured from the pre-sharding runtime (single global mutex barrier) and
+// must never drift: the scheduler may get faster, never different.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"deltacolor"
+	"deltacolor/graph/gen"
+)
+
+func hashColors(xs []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range xs {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(x) >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func phaseString(ps []deltacolor.PhaseStat) string {
+	s := ""
+	for _, p := range ps {
+		s += fmt.Sprintf("%s:%d;", p.Name, p.Rounds)
+	}
+	return s
+}
+
+func TestColorDeterminismGoldens(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, d    int
+		alg     deltacolor.Algorithm
+		seed    int64
+		slow    bool
+		colors  uint64
+		rounds  int
+		repairs int
+		phases  string
+	}{
+		{
+			name: "rand-n512-d4-s1", n: 512, d: 4, alg: deltacolor.AlgRandomized, seed: 1,
+			colors: 0x321796b8e3a363a5, rounds: 263, repairs: 4,
+			phases: "dcc-select:12;dcc-ruling-set:169;dcc-layers:26;marking:8;happy-layers:18;B[3]:3;B[2]:9;B[1]:5;B0-bruteforce:9;repair:1;repair:1;repair:1;repair:1;",
+		},
+		{
+			name: "rand-n512-d8-s2", n: 512, d: 8, alg: deltacolor.AlgRandomized, seed: 2,
+			colors: 0x3a5c7ae8bb510d07, rounds: 146, repairs: 0,
+			phases: "dcc-select:8;dcc-ruling-set:81;dcc-layers:18;marking:8;happy-layers:12;B[2]:7;B[1]:7;B0-bruteforce:5;",
+		},
+		{
+			name: "det-n256-d4-s3", n: 256, d: 4, alg: deltacolor.AlgDeterministic, seed: 3, slow: true,
+			colors: 0x6d448d1d160e7346, rounds: 1400, repairs: 0,
+			phases: "ruling-set:544;layering:7;linial:1;layers[7]:121;layers[6]:121;layers[5]:121;layers[4]:121;layers[3]:121;layers[2]:121;layers[1]:121;brooks-B0:1;",
+		},
+		{
+			name: "netdec-n256-d4-s4", n: 256, d: 4, alg: deltacolor.AlgNetDec, seed: 4, slow: true,
+			colors: 0x16cb72284dd8baa5, rounds: 1220, repairs: 0,
+			phases: "decomposition:31;ruling-set:328;layering:7;linial:1;layers[7]:121;layers[6]:121;layers[5]:121;layers[4]:121;layers[3]:121;layers[2]:121;layers[1]:121;brooks-B0:6;",
+		},
+		{
+			name: "baseline-n256-d4-s5", n: 256, d: 4, alg: deltacolor.AlgBaseline, seed: 5,
+			colors: 0xc424ae2e4a320a84, rounds: 359, repairs: 0,
+			phases: "linial:1;reduce:116;greedy-sweeps:242;",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("slow golden skipped in -short")
+			}
+			g := gen.MustRandomRegular(rand.New(rand.NewSource(tc.seed)), tc.n, tc.d)
+			res, err := deltacolor.Color(g, deltacolor.Options{Algorithm: tc.alg, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hashColors(res.Colors); got != tc.colors {
+				t.Errorf("colors hash = %#x, want %#x", got, tc.colors)
+			}
+			if res.Rounds != tc.rounds {
+				t.Errorf("rounds = %d, want %d", res.Rounds, tc.rounds)
+			}
+			if res.Repairs != tc.repairs {
+				t.Errorf("repairs = %d, want %d", res.Repairs, tc.repairs)
+			}
+			if got := phaseString(res.Phases); got != tc.phases {
+				t.Errorf("phases = %q, want %q", got, tc.phases)
+			}
+		})
+	}
+}

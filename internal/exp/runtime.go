@@ -1,0 +1,166 @@
+package exp
+
+// E12: runtime throughput. Unlike E1–E11, which measure the *algorithms*
+// (rounds, messages), E12 measures the *simulator*: how fast the sharded
+// LOCAL scheduler constructs networks and turns rounds over at scale. The
+// workload is a fixed-length heartbeat protocol (every node broadcasts a
+// small integer each round and folds in what it hears), so the numbers
+// isolate scheduler cost from algorithmic cost. cmd/benchsuite serializes
+// the report to BENCH_runtime.json so the performance trajectory of the
+// runtime is tracked across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"deltacolor/graph"
+	"deltacolor/graph/gen"
+	"deltacolor/local"
+)
+
+// RuntimeSchema identifies the BENCH_runtime.json layout.
+const RuntimeSchema = "deltacolor/bench-runtime/v1"
+
+// RuntimeRow is one (family, n) measurement.
+type RuntimeRow struct {
+	Family         string  `json:"family"`
+	N              int     `json:"n"`
+	Edges          int     `json:"edges"`
+	Delta          int     `json:"delta"`
+	Rounds         int     `json:"rounds"`
+	BuildMillis    float64 `json:"build_ms"` // NewNetwork construction
+	RunMillis      float64 `json:"run_ms"`   // full Run wall time
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+}
+
+// RuntimeReport is the full E12 output, serialized to BENCH_runtime.json.
+type RuntimeReport struct {
+	Schema     string       `json:"schema"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Seed       int64        `json:"seed"`
+	Rows       []RuntimeRow `json:"rows"`
+}
+
+// heartbeat is the uniform scheduler workload: r rounds of broadcast+fold.
+func heartbeat(r int) local.NodeFunc {
+	return func(ctx *local.Ctx) {
+		sum := ctx.ID() & 0xff
+		for i := 0; i < r; i++ {
+			ctx.Broadcast(sum & 0xff)
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if m, ok := ctx.Recv(p).(int); ok {
+					sum += m
+				}
+			}
+		}
+		ctx.SetOutput(sum)
+	}
+}
+
+// runtimeCase builds one graph family instance.
+func runtimeCase(family string, n int, seed int64) *graph.G {
+	switch family {
+	case "path":
+		return gen.Path(n)
+	case "rr4":
+		return gen.MustRandomRegular(rand.New(rand.NewSource(seed)), n, 4)
+	case "clique":
+		return gen.Complete(n)
+	default:
+		panic("unknown runtime family " + family)
+	}
+}
+
+// RuntimeThroughput measures scheduler throughput across the graph
+// families. The clique family is capped by edge count (a million-node
+// clique has 5·10¹¹ edges), so it scales n where the others scale edges.
+func RuntimeThroughput(cfg Config) *RuntimeReport {
+	rep := &RuntimeReport{
+		Schema:     RuntimeSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      cfg.Quick,
+		Seed:       cfg.Seed,
+	}
+	type c struct {
+		family string
+		n      int
+	}
+	var cases []c
+	rounds := 16
+	if cfg.Quick {
+		rounds = 8
+		for _, n := range []int{1_000, 10_000} {
+			cases = append(cases, c{"path", n}, c{"rr4", n})
+		}
+		cases = append(cases, c{"clique", 128}, c{"clique", 256})
+	} else {
+		for _, n := range []int{10_000, 100_000, 1_000_000} {
+			cases = append(cases, c{"path", n}, c{"rr4", n})
+		}
+		cases = append(cases, c{"clique", 512}, c{"clique", 1024}, c{"clique", 2048})
+	}
+	for _, tc := range cases {
+		g := runtimeCase(tc.family, tc.n, cfg.Seed)
+		t0 := time.Now()
+		net := local.NewNetwork(g, cfg.Seed)
+		build := time.Since(t0)
+
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		net.Run(heartbeat(rounds))
+		runtime.ReadMemStats(&after)
+
+		st := net.LastRunStats()
+		row := RuntimeRow{
+			Family:       tc.family,
+			N:            tc.n,
+			Edges:        g.M(),
+			Delta:        g.MaxDegree(),
+			Rounds:       st.Rounds,
+			BuildMillis:  float64(build.Microseconds()) / 1000,
+			RunMillis:    float64(st.WallTime.Microseconds()) / 1000,
+			RoundsPerSec: st.RoundsPerSec,
+		}
+		if st.Rounds > 0 {
+			row.AllocsPerRound = float64(after.Mallocs-before.Mallocs) / float64(st.Rounds)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Table renders the report in the E1–E11 table format.
+func (rep *RuntimeReport) Table() *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "Runtime throughput (sharded LOCAL scheduler, heartbeat workload)",
+		Header: []string{"family", "n", "edges", "rounds", "build ms", "run ms", "rounds/s", "allocs/round"},
+	}
+	for _, r := range rep.Rows {
+		t.AddRow(r.Family, itoa(r.N), itoa(r.Edges), itoa(r.Rounds),
+			f2(r.BuildMillis), f2(r.RunMillis), f2(r.RoundsPerSec),
+			fmt.Sprintf("%.0f", r.AllocsPerRound))
+	}
+	t.AddNote("GOMAXPROCS=%d, quick=%v; network construction is O(n + Σ deg), rounds cost O(active + messages).",
+		rep.GoMaxProcs, rep.Quick)
+	return t
+}
+
+// WriteJSON serializes the report (BENCH_runtime.json).
+func (rep *RuntimeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// E12Runtime adapts RuntimeThroughput to the experiment-runner signature.
+func E12Runtime(cfg Config) *Table {
+	return RuntimeThroughput(cfg).Table()
+}

@@ -14,11 +14,12 @@ import "reflect"
 
 // MessageStats aggregates per-run message-size measurements.
 type MessageStats struct {
-	Messages     int // messages delivered over the whole run
-	TotalBytes   int // estimated payload bytes across all messages
+	Messages     int // messages staged over the whole run (includes Dropped)
+	TotalBytes   int // estimated payload bytes across all staged messages
 	MaxBytes     int // largest single message, estimated bytes
 	MaxRound     int // round in which the largest message was sent
 	RoundsActive int // rounds in which at least one message was sent
+	Dropped      int // messages staged for already-halted receivers (never delivered)
 }
 
 // EnableMessageStats turns on message-size accounting for subsequent
@@ -32,24 +33,30 @@ func (net *Network) EnableMessageStats() {
 // nil when EnableMessageStats was not called.
 func (net *Network) MessageStats() *MessageStats { return net.stats }
 
-// recordMessages is called by completeRound (holding net.mu) with the
-// staged messages of the closing round.
+// recordMessages is called by the round coordinator before delivery, with
+// the staged messages of the closing round. It walks only the active
+// sender lists, so rounds where few nodes speak cost little to measure.
 func (net *Network) recordMessages() {
 	any := false
-	for _, c := range net.ctxs {
-		for _, msg := range c.out {
-			if msg == nil {
-				continue
-			}
-			any = true
-			sz := estimateSize(reflect.ValueOf(msg), 0)
-			net.stats.Messages++
-			net.stats.TotalBytes += sz
-			if sz > net.stats.MaxBytes {
-				net.stats.MaxBytes = sz
-				// completeRound has not incremented the counter yet, so the
-				// closing round is rounds+1 in 1-based reporting.
-				net.stats.MaxRound = net.rounds + 1
+	for i := range net.shards {
+		for _, c := range net.shards[i].senders {
+			for p, msg := range c.out {
+				if msg == nil {
+					continue
+				}
+				any = true
+				sz := estimateSize(reflect.ValueOf(msg), 0)
+				net.stats.Messages++
+				net.stats.TotalBytes += sz
+				if sz > net.stats.MaxBytes {
+					net.stats.MaxBytes = sz
+					// completeRound has not incremented the counter yet, so the
+					// closing round is rounds+1 in 1-based reporting.
+					net.stats.MaxRound = net.rounds + 1
+				}
+				if net.ctxs[net.ports[c.id][p]].halted {
+					net.stats.Dropped++
+				}
 			}
 		}
 	}

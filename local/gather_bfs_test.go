@@ -1,0 +1,76 @@
+package local
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestGatherBallMatchesBFS is the ground-truth property test for the
+// flooding primitive under the sharded scheduler: on random graphs, the
+// ball gathered in t rounds must contain exactly the nodes at BFS distance
+// <= t, with complete adjacency for every node at distance <= t-1 (their
+// adjacency had t-1 rounds to travel) and only the bare self-report (nil
+// adjacency) for nodes at distance exactly t.
+func TestGatherBallMatchesBFS(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		seed int64
+	}{
+		{40, 0.05, 1},
+		{60, 0.08, 2},
+		{50, 0.15, 3},
+		{30, 0.5, 4},
+	}
+	for _, tc := range cases {
+		g := randomGraph(tc.n, tc.p, tc.seed)
+		for _, radius := range []int{1, 2, 3} {
+			net := NewNetwork(g, tc.seed)
+			net.setShards(4)
+			outs := net.Run(func(ctx *Ctx) {
+				ctx.SetOutput(GatherBall(ctx, radius))
+			})
+			if net.Rounds() != radius {
+				t.Fatalf("n=%d p=%v t=%d: rounds=%d", tc.n, tc.p, radius, net.Rounds())
+			}
+			for v := 0; v < g.N(); v++ {
+				ball := outs[v].(*BallInfo)
+				bfs := g.BFSLimited(v, radius)
+				want := map[int]bool{}
+				for _, u := range bfs.Order {
+					want[u] = true
+				}
+				if len(ball.Adj) != len(want) {
+					t.Fatalf("n=%d p=%v t=%d center=%d: knows %d nodes, BFS ball has %d",
+						tc.n, tc.p, radius, v, len(ball.Adj), len(want))
+				}
+				for u, adj := range ball.Adj {
+					if !want[u] {
+						t.Fatalf("center %d learned %d outside its %d-ball", v, u, radius)
+					}
+					switch {
+					case bfs.Dist[u] < radius:
+						got := append([]int(nil), adj...)
+						exp := append([]int(nil), g.Neighbors(u)...)
+						sort.Ints(got)
+						sort.Ints(exp)
+						if len(got) != len(exp) {
+							t.Fatalf("center %d: adjacency of %d (dist %d) has %d entries, want %d",
+								v, u, bfs.Dist[u], len(got), len(exp))
+						}
+						for i := range got {
+							if got[i] != exp[i] {
+								t.Fatalf("center %d: adjacency of %d = %v, want %v", v, u, got, exp)
+							}
+						}
+					default: // dist == radius: only the self-report made it
+						if adj != nil {
+							t.Fatalf("center %d: node %d at distance %d should have nil adjacency, got %v",
+								v, u, radius, adj)
+						}
+					}
+				}
+			}
+		}
+	}
+}

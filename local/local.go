@@ -1,6 +1,6 @@
 // Package local implements the LOCAL model of distributed computing as a
-// runtime: one goroutine per node, synchronous rounds enforced by a central
-// coordinator, per-round message delivery along edges, and automatic round
+// runtime: one goroutine per node, synchronous rounds enforced by a sharded
+// barrier, per-round message delivery along edges, and automatic round
 // accounting.
 //
 // An algorithm is a function executed by every node against a *Ctx. Nodes
@@ -14,12 +14,40 @@
 // Messages are unbounded (LOCAL model), so any t-round algorithm is
 // equivalent to a function of the t-hop neighborhood; GatherBall implements
 // exactly that flooding pattern as a reusable building block.
+//
+// # Scheduler architecture
+//
+// The runtime is built to stay out of the way at large n:
+//
+//   - Port tables are built in O(n + Σ deg) by bucketing directed edges by
+//     their head, so even dense graphs (cliques) construct in linear time.
+//   - Nodes are partitioned into GOMAXPROCS shards. Each shard keeps its
+//     own arrival counter and sender list, so barrier traffic does not
+//     funnel through a single mutex; the round flips over a channel gate
+//     (close-to-broadcast), avoiding a condvar wake-up storm.
+//   - The runtime tracks the active set: only nodes that staged messages
+//     this round are visited during delivery, and each node clears its own
+//     inbox on barrier entry only when something was delivered to it. A
+//     round in which k nodes communicate costs O(k + messages), not O(n).
+//   - Halted nodes park permanently: their goroutines exit and they are
+//     never touched again by delivery or clearing.
+//   - Message delivery is sharded across workers when the round is large
+//     enough to pay for the fan-out.
+//
+// Determinism is unaffected by the sharding: message (receiver, port)
+// slots are fixed by the port numbering, per-node randomness is derived
+// from (seed, ID) alone, and round completion is a pure function of which
+// nodes arrived.
 package local
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"deltacolor/graph"
 )
@@ -37,14 +65,22 @@ type Ctx struct {
 	deg    int
 	n      int
 	maxDeg int
-	rng    *rand.Rand
+	shard  int32
+	rng    *rand.Rand // lazily created; see Rand
 
-	net    *Network
-	in     []Message // in[p] = message received on port p this round (nil if none)
-	out    []Message // staged outgoing messages
-	output any
-	halted bool
-	input  any
+	net     *Network
+	in      []Message // in[p] = message received on port p this round (nil if none)
+	out     []Message // staged outgoing messages
+	output  any
+	input   any
+	sentAny bool // staged at least one Send/Broadcast this round (owner-only)
+	halted  bool // set by the owner before its final arrival
+
+	// recvDirty is set by delivery workers when a message lands in the
+	// inbox; the owner clears the inbox (and the flag) on barrier entry.
+	// Atomic because two workers delivering from different senders may
+	// flag the same receiver concurrently.
+	recvDirty atomic.Bool
 }
 
 // ID returns this node's unique identifier in [0, n).
@@ -61,8 +97,15 @@ func (c *Ctx) N() int { return c.n }
 func (c *Ctx) MaxDegree() int { return c.maxDeg }
 
 // Rand returns the node's private randomness source (deterministically
-// derived from the run seed and the node ID).
-func (c *Ctx) Rand() *rand.Rand { return c.rng }
+// derived from the run seed and the node ID). The generator is created on
+// first use: seeding math/rand state is the single most expensive part of
+// node setup, and most deterministic protocols never draw randomness.
+func (c *Ctx) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.net.seed*1_000_003 + int64(c.id)))
+	}
+	return c.rng
+}
 
 // Input returns the per-node input installed by RunWithInput (nil if none).
 func (c *Ctx) Input() any { return c.input }
@@ -73,6 +116,7 @@ func (c *Ctx) Input() any { return c.input }
 // bundle what they need).
 func (c *Ctx) Send(p int, msg Message) {
 	c.out[p] = msg
+	c.sentAny = true
 }
 
 // Broadcast stages msg on every port.
@@ -80,6 +124,7 @@ func (c *Ctx) Broadcast(msg Message) {
 	for p := range c.out {
 		c.out[p] = msg
 	}
+	c.sentAny = len(c.out) > 0
 }
 
 // Recv returns the message received on port p in the last completed round,
@@ -99,54 +144,170 @@ func (c *Ctx) SetOutput(v any) { c.output = v }
 // Output returns the value recorded by SetOutput.
 func (c *Ctx) Output() any { return c.output }
 
+// shard groups a subset of the nodes (v belongs to shard v mod nshards).
+// Each shard has its own arrival counter and sender list so that barrier
+// entry from different shards touches different cache lines.
+type shard struct {
+	pending atomic.Int64 // arrivals still missing from this shard this round
+	running int64        // non-halted nodes in this shard (coordinator-owned)
+	halts   atomic.Int64 // halts observed this round, folded into running
+
+	sendMu  sync.Mutex
+	senders []*Ctx // shard members that staged sends this round
+
+	dead []DeadSend // sends to halted receivers found while delivering this shard
+
+	_ [64]byte // pad to keep shards off each other's cache lines
+}
+
+// DeadSend records a message that was staged for a neighbor that had
+// already halted; the message is dropped. Such sends usually indicate a
+// protocol bug in the node program (the sender believes the neighbor is
+// still participating). Enable tracking with Network.TrackDeadSends.
+type DeadSend struct {
+	From  int // sender node ID
+	Port  int // sender's port the message was staged on
+	To    int // halted receiver node ID
+	Round int // 1-based round in which the send was staged
+}
+
+func (d DeadSend) String() string {
+	return fmt.Sprintf("round %d: node %d sent to halted node %d on port %d", d.Round, d.From, d.To, d.Port)
+}
+
+// RunStats summarizes the throughput of the last Run.
+type RunStats struct {
+	Nodes        int
+	Rounds       int
+	WallTime     time.Duration
+	RoundsPerSec float64 // 0 when the run had no rounds
+}
+
 // Network runs NodeFuncs over a graph.
 type Network struct {
-	g      *graph.G
-	ports  [][]int // ports[v][p] = neighbor on port p (== g.Neighbors(v))
-	rev    [][]int // rev[v][p] = port index of v on ports[v][p]'s side
-	seed   int64
-	rounds int
+	g     *graph.G
+	ports [][]int   // ports[v][p] = neighbor on port p (== g.Neighbors(v))
+	rev   [][]int32 // rev[v][p] = port index of v on ports[v][p]'s side
+	seed  int64
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	waiting int
-	running int
-	gen     uint64
-	ctxs    []*Ctx
+	rounds   int
+	lastRun  RunStats
+	shards   []shard
+	nshards  int
+	ctxs     []Ctx
+	gate     atomic.Pointer[chan struct{}] // current round's release gate
+	shardsIn atomic.Int64                  // shards whose pending hit zero this round
 
-	stats *MessageStats // non-nil when EnableMessageStats was called
+	stats     *MessageStats // non-nil when EnableMessageStats was called
+	trackDead bool          // record sends to halted neighbors
 }
 
 // NewNetwork prepares a network over g with the given randomness seed.
+// Construction is O(n + Σ deg): directed edges are bucketed by their head
+// node, then each bucket is resolved against a scratch port index, so even
+// a clique builds in time linear in its edge count.
 func NewNetwork(g *graph.G, seed int64) *Network {
 	n := g.N()
 	net := &Network{g: g, seed: seed}
-	net.cond = sync.NewCond(&net.mu)
 	net.ports = make([][]int, n)
-	net.rev = make([][]int, n)
+	sum := 0
 	for v := 0; v < n; v++ {
 		net.ports[v] = g.Neighbors(v)
-		net.rev[v] = make([]int, len(net.ports[v]))
+		sum += len(net.ports[v])
 	}
-	// rev[v][p]: find index of v in neighbor's list.
+
+	// off[v] = index of v's first directed edge in the flat arrays.
+	off := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + len(net.ports[v])
+	}
+	revFlat := make([]int32, sum)
+	net.rev = make([][]int32, n)
+	for v := 0; v < n; v++ {
+		net.rev[v] = revFlat[off[v]:off[v+1]:off[v+1]]
+	}
+
+	// Bucket every directed edge (v, p) under its head u = ports[v][p].
+	// Bucket u occupies positions off[u]:off[u+1], so no resizing happens.
+	bufV := make([]int32, sum)
+	bufP := make([]int32, sum)
+	cursor := make([]int, n)
+	copy(cursor, off[:n])
 	for v := 0; v < n; v++ {
 		for p, u := range net.ports[v] {
-			for q, w := range net.ports[u] {
-				if w == v {
-					net.rev[v][p] = q
-					break
-				}
-			}
+			i := cursor[u]
+			cursor[u]++
+			bufV[i] = int32(v)
+			bufP[i] = int32(p)
 		}
 	}
+	// For each node u, scratch[w] = port of w in u's list; every entry
+	// (v, p) in u's bucket then resolves as rev[v][p] = scratch[v]. Stale
+	// scratch entries are never read: bucket u holds exactly u's neighbors.
+	scratch := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for q, w := range net.ports[u] {
+			scratch[w] = int32(q)
+		}
+		for i := off[u]; i < off[u+1]; i++ {
+			net.rev[bufV[i]][bufP[i]] = scratch[bufV[i]]
+		}
+	}
+
+	net.setShards(runtime.GOMAXPROCS(0))
 	return net
+}
+
+// setShards reconfigures the scheduler to use k shards (and up to k
+// delivery workers). NewNetwork picks GOMAXPROCS; tests and benchmarks
+// use this to exercise or pin the sharded paths. Must not be called
+// during a Run.
+func (net *Network) setShards(k int) {
+	if n := net.g.N(); k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	net.nshards = k
+	net.shards = make([]shard, k)
 }
 
 // Rounds returns the number of synchronous rounds of the last Run.
 func (net *Network) Rounds() int { return net.rounds }
 
+// LastRunStats returns throughput statistics for the last completed Run.
+func (net *Network) LastRunStats() RunStats { return net.lastRun }
+
 // Graph returns the underlying graph.
 func (net *Network) Graph() *graph.G { return net.g }
+
+// TrackDeadSends toggles the debug mode that records every message staged
+// for an already-halted neighbor (the message is dropped either way, as it
+// always was). Such sends indicate protocol bugs; read the report with
+// DeadSends after the run.
+func (net *Network) TrackDeadSends(on bool) { net.trackDead = on }
+
+// DeadSends returns the dead sends recorded during the last Run (tracking
+// must be enabled before the Run starts), sorted by (round, sender, port).
+// It returns nil when tracking is off or nothing was dropped.
+func (net *Network) DeadSends() []DeadSend {
+	var all []DeadSend
+	for i := range net.shards {
+		all = append(all, net.shards[i].dead...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Port < b.Port
+	})
+	return all
+}
 
 // Run executes f on every node until all halt and returns each node's
 // output. The number of rounds used is available via Rounds.
@@ -155,40 +316,70 @@ func (net *Network) Run(f NodeFunc) []any {
 }
 
 // RunWithInput is Run with a per-node input value (inputs[v] is readable by
-// node v via ctx.Input). inputs may be nil.
+// node v via ctx.Input). inputs may be nil; a non-nil inputs must have
+// exactly one entry per node.
 func (net *Network) RunWithInput(f NodeFunc, inputs []any) []any {
 	n := net.g.N()
+	if inputs != nil && len(inputs) != n {
+		panic(fmt.Sprintf("local: RunWithInput: len(inputs) = %d, want %d (one input per node)", len(inputs), n))
+	}
 	maxDeg := net.g.MaxDegree()
 	net.rounds = 0
-	net.gen = 0
-	net.ctxs = make([]*Ctx, n)
+	start := time.Now()
+
+	// Flat allocations: one Ctx array and one Message array backing every
+	// inbox and outbox, instead of 3n small allocations.
+	net.ctxs = make([]Ctx, n)
+	deg := make([]int, n+1)
 	for v := 0; v < n; v++ {
-		c := &Ctx{
-			id:     v,
-			deg:    net.g.Deg(v),
-			n:      n,
-			maxDeg: maxDeg,
-			rng:    rand.New(rand.NewSource(net.seed*1_000_003 + int64(v))),
-			net:    net,
-		}
-		c.in = make([]Message, c.deg)
-		c.out = make([]Message, c.deg)
+		deg[v+1] = deg[v] + net.g.Deg(v)
+	}
+	boxes := make([]Message, 2*deg[n])
+	inFlat, outFlat := boxes[:deg[n]], boxes[deg[n]:]
+	for v := 0; v < n; v++ {
+		c := &net.ctxs[v]
+		c.id = v
+		c.deg = deg[v+1] - deg[v]
+		c.n = n
+		c.maxDeg = maxDeg
+		c.shard = int32(v % net.nshards)
+		c.net = net
+		c.in = inFlat[deg[v]:deg[v+1]:deg[v+1]]
+		c.out = outFlat[deg[v]:deg[v+1]:deg[v+1]]
 		if inputs != nil {
 			c.input = inputs[v]
 		}
-		net.ctxs[v] = c
 	}
-	net.running = n
-	net.waiting = 0
+	for i := range net.shards {
+		sh := &net.shards[i]
+		sh.running = 0
+		sh.halts.Store(0)
+		sh.senders = sh.senders[:0]
+		sh.dead = sh.dead[:0]
+	}
+	for v := 0; v < n; v++ {
+		net.shards[v%net.nshards].running++
+	}
+	active := int64(0)
+	for i := range net.shards {
+		sh := &net.shards[i]
+		sh.pending.Store(sh.running)
+		if sh.running > 0 {
+			active++
+		}
+	}
+	net.shardsIn.Store(active)
+	gate := make(chan struct{})
+	net.gate.Store(&gate)
 
 	var wg sync.WaitGroup
+	wg.Add(n)
 	for v := 0; v < n; v++ {
-		wg.Add(1)
 		go func(c *Ctx) {
 			defer wg.Done()
 			f(c)
 			net.barrier(c, true)
-		}(net.ctxs[v])
+		}(&net.ctxs[v])
 	}
 	wg.Wait()
 
@@ -196,65 +387,160 @@ func (net *Network) RunWithInput(f NodeFunc, inputs []any) []any {
 	for v := 0; v < n; v++ {
 		outs[v] = net.ctxs[v].output
 	}
+	wall := time.Since(start)
+	net.lastRun = RunStats{Nodes: n, Rounds: net.rounds, WallTime: wall}
+	if net.rounds > 0 && wall > 0 {
+		net.lastRun.RoundsPerSec = float64(net.rounds) / wall.Seconds()
+	}
 	return outs
 }
 
 // barrier is called by node goroutines at the end of each round (halt=false)
-// or when the node function returns (halt=true). The last arriver performs
-// message delivery, bumps the round counter and wakes everyone.
+// or when the node function returns (halt=true). The last arriver across
+// all shards becomes the round coordinator: it performs delivery, resets
+// the counters and opens the gate.
 func (net *Network) barrier(c *Ctx, halt bool) {
-	net.mu.Lock()
-	defer net.mu.Unlock()
-	if halt {
-		c.halted = true
-		net.running--
-		if net.waiting == net.running && net.running > 0 {
-			net.completeRound()
-		} else if net.running == 0 {
-			// Everyone done; nothing to deliver.
-			net.cond.Broadcast()
-		}
-		return
-	}
-	myGen := net.gen
-	net.waiting++
-	if net.waiting == net.running {
-		net.completeRound()
-	} else {
-		for net.gen == myGen {
-			net.cond.Wait()
-		}
-	}
-}
-
-// completeRound delivers staged messages, clears outboxes, increments the
-// round counter and releases the barrier. Caller holds net.mu.
-func (net *Network) completeRound() {
-	if net.stats != nil {
-		net.recordMessages()
-	}
-	// Clear all inboxes (halted nodes too; harmless).
-	for _, c := range net.ctxs {
+	// The owner clears its own inbox: the previous round's messages have
+	// been consumed by the time the node re-enters the barrier. Nodes that
+	// received nothing skip the sweep entirely.
+	if c.recvDirty.Load() {
 		for p := range c.in {
 			c.in[p] = nil
 		}
+		c.recvDirty.Store(false)
 	}
-	// Deliver: message staged by v on port p arrives at u := ports[v][p]
-	// on port rev[v][p].
-	for v, c := range net.ctxs {
+	sh := &net.shards[c.shard]
+	if c.sentAny {
+		sh.sendMu.Lock()
+		sh.senders = append(sh.senders, c)
+		sh.sendMu.Unlock()
+	}
+	if halt {
+		c.halted = true
+		sh.halts.Add(1)
+		net.arrive(sh)
+		return
+	}
+	// Read the gate before announcing arrival: once the final arrival is
+	// in, the coordinator may swap gates at any moment.
+	gate := *net.gate.Load()
+	if net.arrive(sh) {
+		return
+	}
+	<-gate
+}
+
+// arrive records one barrier arrival. It returns true when the caller was
+// the round coordinator (and the round has been completed), false when the
+// caller should wait on the gate it loaded before arriving.
+func (net *Network) arrive(sh *shard) bool {
+	if sh.pending.Add(-1) != 0 {
+		return false
+	}
+	if net.shardsIn.Add(-1) != 0 {
+		return false
+	}
+	net.completeRound()
+	return true
+}
+
+// completeRound runs on the coordinator once every running node has
+// arrived: it folds halts into the shard populations, delivers the staged
+// messages of the active senders, advances the round and opens the gate.
+// No locks are needed: all arrivals happened-before the final counter
+// decrement, and waiters resume only after the gate is closed.
+func (net *Network) completeRound() {
+	running := int64(0)
+	for i := range net.shards {
+		sh := &net.shards[i]
+		sh.running -= sh.halts.Swap(0)
+		running += sh.running
+	}
+	if running == 0 {
+		// Every node has halted: nothing to deliver and nobody to wake
+		// (matching the original semantics, the final all-halt round is
+		// not counted and its staged messages are dropped).
+		return
+	}
+	if net.stats != nil {
+		net.recordMessages()
+	}
+	net.deliver()
+	net.rounds++
+	active := int64(0)
+	for i := range net.shards {
+		sh := &net.shards[i]
+		sh.pending.Store(sh.running)
+		if sh.running > 0 {
+			active++
+		}
+	}
+	net.shardsIn.Store(active)
+	next := make(chan struct{})
+	old := net.gate.Swap(&next)
+	close(*old)
+}
+
+// deliver moves every staged message of this round's senders into the
+// receivers' inboxes, fanning out across workers when the round is large
+// enough to amortize goroutine startup.
+func (net *Network) deliver() {
+	workers := net.nshards
+	if workers > 1 {
+		total := 0
+		for i := range net.shards {
+			total += len(net.shards[i].senders)
+		}
+		if total < 256 {
+			workers = 1
+		}
+	}
+	if workers <= 1 {
+		for i := range net.shards {
+			net.deliverShard(&net.shards[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < net.nshards; i += workers {
+				net.deliverShard(&net.shards[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// deliverShard delivers the staged messages of one shard's senders. Each
+// (receiver, port) slot has a unique sender, so workers on different
+// shards never write the same slot; the receiver's dirty flag is atomic
+// because distinct senders may share a receiver.
+func (net *Network) deliverShard(sh *shard) {
+	for _, c := range sh.senders {
+		ports, rev := net.ports[c.id], net.rev[c.id]
 		for p, msg := range c.out {
 			if msg == nil {
 				continue
 			}
-			u := net.ports[v][p]
-			net.ctxs[u].in[net.rev[v][p]] = msg
 			c.out[p] = nil
+			uc := &net.ctxs[ports[p]]
+			if uc.halted {
+				if net.trackDead {
+					sh.dead = append(sh.dead, DeadSend{From: c.id, Port: p, To: uc.id, Round: net.rounds + 1})
+				}
+				continue
+			}
+			uc.in[rev[p]] = msg
+			if !uc.recvDirty.Load() {
+				uc.recvDirty.Store(true)
+			}
 		}
+		c.sentAny = false
 	}
-	net.rounds++
-	net.waiting = 0
-	net.gen++
-	net.cond.Broadcast()
+	sh.senders = sh.senders[:0]
 }
 
 // Accountant aggregates rounds across the phases of a composite algorithm.

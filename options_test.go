@@ -1,0 +1,67 @@
+package deltacolor_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"deltacolor"
+	"deltacolor/graph/gen"
+)
+
+func TestColorRejectsBadOptions(t *testing.T) {
+	g := gen.MustRandomRegular(rand.New(rand.NewSource(1)), 64, 4)
+	cases := []struct {
+		name  string
+		opts  deltacolor.Options
+		field string
+	}{
+		{"negative R", deltacolor.Options{R: -1}, "R"},
+		{"negative backoff", deltacolor.Options{Backoff: -3}, "Backoff"},
+		{"negative P", deltacolor.Options{P: -0.5}, "P"},
+		{"P above one", deltacolor.Options{P: 1.5}, "P"},
+		{"NaN P", deltacolor.Options{P: math.NaN()}, "P"},
+		{"bad options on deterministic too", deltacolor.Options{Algorithm: deltacolor.AlgDeterministic, R: -7}, "R"},
+		{"unknown algorithm", deltacolor.Options{Algorithm: deltacolor.Algorithm(99)}, "Algorithm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := deltacolor.Color(g, tc.opts)
+			if err == nil {
+				t.Fatalf("Color accepted %+v (res=%v)", tc.opts, res)
+			}
+			if !errors.Is(err, deltacolor.ErrBadOptions) {
+				t.Fatalf("err = %v, want ErrBadOptions", err)
+			}
+			var oe *deltacolor.OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("err = %T, want *OptionError", err)
+			}
+			if oe.Field != tc.field {
+				t.Fatalf("err field = %q, want %q", oe.Field, tc.field)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Fatalf("error message %q does not name the field", err)
+			}
+		})
+	}
+}
+
+func TestColorAcceptsZeroAndValidOptions(t *testing.T) {
+	g := gen.MustRandomRegular(rand.New(rand.NewSource(2)), 64, 4)
+	for _, opts := range []deltacolor.Options{
+		{Seed: 1},
+		{Seed: 1, R: 2, Backoff: 4, P: 0.25},
+		{Seed: 1, P: 1},
+	} {
+		res, err := deltacolor.Color(g, opts)
+		if err != nil {
+			t.Fatalf("Color rejected valid options %+v: %v", opts, err)
+		}
+		if len(res.Colors) != 64 {
+			t.Fatalf("bad result for %+v", opts)
+		}
+	}
+}
