@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"deltacolor"
+	"deltacolor/graph"
 	"deltacolor/graph/gen"
 	"deltacolor/internal/dist"
 	"deltacolor/internal/exp"
@@ -107,6 +108,41 @@ func BenchmarkLinial100kRandomRegular(b *testing.B) {
 		colors, _, rounds := dist.Linial(net)
 		if rounds <= 0 || len(colors) != g.N() {
 			b.Fatal("bad Linial run")
+		}
+	}
+}
+
+// Quotient-network construction: the DCC/ruling-set phases build many
+// small virtual networks per run. The direct port-table construction
+// (local.QuotientNetwork) avoids graph.Quotient's full-edge scan and
+// per-edge dedupe followed by a NewNetwork rebuild.
+
+func quotientBenchInstance() (*graph.G, [][]int) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.MustRandomRegular(rng, 100_000, 4)
+	var groups [][]int
+	for v := 0; v+3 < g.N(); v += 40 {
+		groups = append(groups, []int{v, v + 1, v + 2})
+	}
+	return g, groups
+}
+
+func BenchmarkQuotientViaGraphQuotient(b *testing.B) {
+	g, groups := quotientBenchInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net := local.NewNetwork(graph.Quotient(g, groups), 1); net.Graph().N() != len(groups) {
+			b.Fatal("bad quotient")
+		}
+	}
+}
+
+func BenchmarkQuotientNetworkFromPorts(b *testing.B) {
+	g, groups := quotientBenchInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net := local.QuotientNetwork(g, groups, 1); net.Graph().N() != len(groups) {
+			b.Fatal("bad quotient")
 		}
 	}
 }

@@ -1,13 +1,19 @@
 // Command benchsuite runs the experiment suite E1–E12 (DESIGN.md §4) at
 // full scale and prints every table as markdown — the exact content
 // EXPERIMENTS.md records. Use -quick for a smoke-scale pass and -only to
-// select individual experiments. E12 is the runtime-throughput benchmark;
-// -runtimejson additionally serializes its report (BENCH_runtime.json).
+// select individual experiments. -strict turns any message staged for a
+// halted neighbor into a hard failure (dead-send regression gate). E12 is
+// the runtime-throughput benchmark; -runtimejson additionally serializes
+// its report (BENCH_runtime.json), and -baseline compares the fresh E12
+// numbers against a checked-in report, failing on a rounds/s regression
+// beyond -maxregress at the largest common scale.
 //
 //	go run ./cmd/benchsuite                  # full suite (minutes)
 //	go run ./cmd/benchsuite -quick           # smoke scale (seconds)
+//	go run ./cmd/benchsuite -quick -strict   # + dead-send regression gate
 //	go run ./cmd/benchsuite -only E4,E6      # a subset
 //	go run ./cmd/benchsuite -only E12 -runtimejson BENCH_runtime.json
+//	go run ./cmd/benchsuite -quick -only E12 -baseline BENCH_runtime.json
 package main
 
 import (
@@ -22,11 +28,14 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "run at smoke scale")
-		seed   = flag.Int64("seed", 1, "experiment seed")
-		only   = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of markdown (notes omitted)")
-		rtJSON = flag.String("runtimejson", "", "write the E12 runtime report to this path (implies running E12)")
+		quick      = flag.Bool("quick", false, "run at smoke scale")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		only       = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
+		csvOut     = flag.Bool("csv", false, "emit CSV instead of markdown (notes omitted)")
+		rtJSON     = flag.String("runtimejson", "", "write the E12 runtime report to this path (implies running E12)")
+		strict     = flag.Bool("strict", false, "fail hard on dead sends (messages staged for halted neighbors)")
+		baseline   = flag.String("baseline", "", "compare the E12 report against this baseline JSON (implies running E12)")
+		maxRegress = flag.Float64("maxregress", 0.30, "max tolerated rounds/s regression vs -baseline (fraction)")
 	)
 	flag.Parse()
 
@@ -55,7 +64,7 @@ func main() {
 		{"E11", exp.E11Congest},
 	}
 
-	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, Strict: *strict}
 	start := time.Now()
 	ran := 0
 	emit := func(id string, table *exp.Table, t0 time.Time) {
@@ -79,11 +88,29 @@ func main() {
 		t0 := time.Now()
 		emit(r.id, r.f(cfg), t0)
 	}
-	// E12 runs once even when both selected and exported as JSON.
-	if len(want) == 0 || want["E12"] || *rtJSON != "" {
+	// E12 runs once even when selected, exported as JSON and/or compared.
+	if len(want) == 0 || want["E12"] || *rtJSON != "" || *baseline != "" {
 		t0 := time.Now()
 		rep := exp.RuntimeThroughput(cfg)
 		emit("E12", rep.Table(), t0)
+		if *baseline != "" {
+			f, err := os.Open(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+				os.Exit(1)
+			}
+			base, err := exp.ReadRuntimeReport(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+				os.Exit(1)
+			}
+			if err := exp.CompareRuntime(rep, base, *maxRegress); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchmark delta vs %s OK (tolerance -%.0f%%)\n", *baseline, *maxRegress*100)
+		}
 		if *rtJSON != "" {
 			f, err := os.Create(*rtJSON)
 			if err != nil {

@@ -84,6 +84,32 @@ func (g *G) MustEdge(u, v int) {
 	}
 }
 
+// FromAdjacency adopts a prebuilt adjacency structure in O(n + Σ deg),
+// bypassing the per-edge duplicate scan of AddEdge. The caller guarantees
+// the lists describe a simple undirected graph (symmetric, no duplicate
+// entries); only node ranges, self-loops and degree-sum parity are
+// verified. Intended for bulk constructions that already deduplicate,
+// such as quotient networks built from port tables.
+func FromAdjacency(adj [][]int) (*G, error) {
+	n := len(adj)
+	sum := 0
+	for v, nbrs := range adj {
+		for _, u := range nbrs {
+			if u == v {
+				return nil, fmt.Errorf("from adjacency: node %d: %w", v, ErrSelfLoop)
+			}
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("from adjacency: node %d lists neighbor %d outside [0,%d)", v, u, n)
+			}
+		}
+		sum += len(nbrs)
+	}
+	if sum%2 != 0 {
+		return nil, fmt.Errorf("from adjacency: directed degree sum %d is odd (lists not symmetric)", sum)
+	}
+	return &G{adj: adj, m: sum / 2}, nil
+}
+
 // MaxDegree returns Δ(G), the maximum degree (0 for an empty graph).
 func (g *G) MaxDegree() int {
 	d := 0

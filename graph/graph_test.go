@@ -479,3 +479,26 @@ func TestPowerMatchesDistancesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFromAdjacency(t *testing.T) {
+	adj := [][]int{{1, 2}, {0}, {0}}
+	g, err := FromAdjacency(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 || g.Deg(0) != 2 {
+		t.Fatalf("n=%d m=%d deg0=%d", g.N(), g.M(), g.Deg(0))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || g.HasEdge(1, 2) {
+		t.Fatal("edge set wrong")
+	}
+	if _, err := FromAdjacency([][]int{{0}}); err == nil {
+		t.Fatal("self-loop not rejected")
+	}
+	if _, err := FromAdjacency([][]int{{1}, {}}); err == nil {
+		t.Fatal("asymmetric degree sum not rejected")
+	}
+	if _, err := FromAdjacency([][]int{{5}}); err == nil {
+		t.Fatal("out-of-range neighbor not rejected")
+	}
+}

@@ -60,13 +60,16 @@ const (
 
 // LayerColorer colors layered node sets in reverse layer order, one
 // (deg+1)-list-coloring instance per layer, charging rounds to the
-// accountant. It owns the base coloring needed by the deterministic mode.
+// accountant. It owns the base coloring needed by the deterministic mode
+// and a single network over g that every layer instance reuses (reseeded
+// per layer) — the port tables are built once, not once per phase.
 type LayerColorer struct {
 	g          *graph.G
 	delta      int
 	mode       ListColorMode
 	seed       int64
 	acct       *local.Accountant
+	net        *local.Network
 	baseColors []int
 	baseK      int
 }
@@ -75,9 +78,9 @@ type LayerColorer struct {
 // Linial base coloring up front (charged to the accountant once).
 func NewLayerColorer(g *graph.G, delta int, mode ListColorMode, seed int64, acct *local.Accountant) *LayerColorer {
 	lc := &LayerColorer{g: g, delta: delta, mode: mode, seed: seed, acct: acct}
+	lc.net = local.NewNetwork(g, seed)
 	if mode == ListColorDeterministic {
-		net := local.NewNetwork(g, seed)
-		colors, k, rounds := dist.Linial(net)
+		colors, k, rounds := dist.Linial(lc.net)
 		lc.baseColors, lc.baseK = colors, k
 		acct.Charge("linial", rounds)
 	}
@@ -120,17 +123,20 @@ func (lc *LayerColorer) ColorLayersReverse(colors []int, layer []int, s int, pha
 	return repairs, nil
 }
 
-// solve runs the configured list-coloring subroutine.
+// solve runs the configured list-coloring subroutine on the shared
+// network, reseeded per layer (the per-layer seeds are unchanged from the
+// build-a-network-per-layer era, so colorings are byte-identical — only
+// the repeated O(n + Σ deg) construction cost is gone).
 func (lc *LayerColorer) solve(li *dist.ListInstance, salt int64) ([]int, int, error) {
 	if err := li.CheckDegPlusOne(lc.g); err != nil {
 		return nil, 0, err
 	}
-	net := local.NewNetwork(lc.g, lc.seed*31+salt)
+	lc.net.Reseed(lc.seed*31 + salt)
 	switch lc.mode {
 	case ListColorDeterministic:
-		return dist.ListColorDeterministic(net, li, lc.baseColors, lc.baseK)
+		return dist.ListColorDeterministic(lc.net, li, lc.baseColors, lc.baseK)
 	default:
-		return dist.ListColorRandomized(net, li)
+		return dist.ListColorRandomized(lc.net, li)
 	}
 }
 

@@ -120,8 +120,10 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 	var layerB []int
 	sB := 0
 	if len(dccs) > 0 {
-		quot := graph.Quotient(g, dccs)
-		qnet := local.NewNetwork(quot, o.Seed+11)
+		// The virtual DCC network is built directly from g's port tables
+		// (linear in the groups' sizes and boundary edges), not by the
+		// O(m) graph.Quotient + NewNetwork rebuild.
+		qnet := local.QuotientNetwork(g, dccs, o.Seed+11)
 		inMIS, misRounds := dist.LubyMIS(qnet, nil)
 		acct.Charge("dcc-ruling-set", misRounds*(2*o.R+1))
 		var base []int

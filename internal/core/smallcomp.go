@@ -92,9 +92,9 @@ func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o Ran
 		return deferred, nil
 	}
 
-	// Ruling set over the virtual anchor graph.
-	quot := graph.Quotient(lGraph, groups)
-	qnet := local.NewNetwork(quot, o.Seed+23)
+	// Ruling set over the virtual anchor graph, built straight from the
+	// masked graph's port tables (see local.QuotientNetwork).
+	qnet := local.QuotientNetwork(lGraph, groups, o.Seed+23)
 	inMIS, misRounds := dist.LubyMIS(qnet, nil)
 	acct.Charge("small-ruling-set", misRounds*(2*maxRC+1))
 

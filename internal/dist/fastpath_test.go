@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacolor/graph"
+	"deltacolor/graph/gen"
+	"deltacolor/local"
+)
+
+// The int-vs-boxed golden: every ported primitive must produce identical
+// outputs and round counts with the int fast path enabled (the default)
+// and disabled (every SendInt/BroadcastInt routed through the boxed path).
+// This pins the typed delivery path against the reference `any` semantics
+// on assorted topologies, including the mixed int/struct protocols (MIS,
+// randomized list coloring).
+func fastpathGraphs(t *testing.T) map[string]*graph.G {
+	t.Helper()
+	return map[string]*graph.G{
+		"path":  gen.Path(60),
+		"cycle": gen.Cycle(45),
+		"rr4":   gen.MustRandomRegular(rand.New(rand.NewSource(8)), 128, 4),
+		"k12":   gen.Complete(12),
+	}
+}
+
+func nets(g *graph.G, seed int64) (intPath, boxed *local.Network) {
+	intPath = local.NewNetwork(g, seed)
+	boxed = local.NewNetwork(g, seed)
+	boxed.SetIntFastPath(false)
+	return
+}
+
+func sameInts(t *testing.T, name string, got, want []int, gotRounds, wantRounds int) {
+	t.Helper()
+	if gotRounds != wantRounds {
+		t.Fatalf("%s: rounds %d (int path) vs %d (boxed)", name, gotRounds, wantRounds)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: node %d: %d (int path) vs %d (boxed)", name, v, got[v], want[v])
+		}
+	}
+}
+
+func TestIntFastPathMatchesBoxedLinial(t *testing.T) {
+	for name, g := range fastpathGraphs(t) {
+		a, b := nets(g, 7)
+		ca, ka, ra := Linial(a)
+		cb, kb, rb := Linial(b)
+		if ka != kb {
+			t.Fatalf("%s: palette %d vs %d", name, ka, kb)
+		}
+		sameInts(t, name, ca, cb, ra, rb)
+	}
+}
+
+func TestIntFastPathMatchesBoxedReduceColors(t *testing.T) {
+	for name, g := range fastpathGraphs(t) {
+		n := g.N()
+		ids := make([]int, n)
+		for v := range ids {
+			ids[v] = v
+		}
+		target := g.MaxDegree() + 1
+		a, b := nets(g, 9)
+		ca, ra, errA := ReduceColors(a, ids, n, target)
+		cb, rb, errB := ReduceColors(b, ids, n, target)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: err %v vs %v", name, errA, errB)
+		}
+		sameInts(t, name, ca, cb, ra, rb)
+	}
+}
+
+func TestIntFastPathMatchesBoxedLubyMIS(t *testing.T) {
+	for name, g := range fastpathGraphs(t) {
+		n := g.N()
+		active := make([]bool, n)
+		for v := range active {
+			active[v] = v%3 != 0 // mix of active and inactive nodes
+		}
+		a, b := nets(g, 11)
+		ma, ra := LubyMIS(a, active)
+		mb, rb := LubyMIS(b, active)
+		if ra != rb {
+			t.Fatalf("%s: rounds %d vs %d", name, ra, rb)
+		}
+		for v := range ma {
+			if ma[v] != mb[v] {
+				t.Fatalf("%s: node %d: %v (int path) vs %v (boxed)", name, v, ma[v], mb[v])
+			}
+		}
+	}
+}
+
+func TestIntFastPathMatchesBoxedListColoring(t *testing.T) {
+	for name, g := range fastpathGraphs(t) {
+		n := g.N()
+		active := make([]bool, n)
+		for v := range active {
+			active[v] = v%4 != 1
+		}
+		partial := make([]int, n)
+		for v := range partial {
+			partial[v] = -1
+		}
+		delta := g.MaxDegree() + 1
+		li := NewListInstance(g, active, partial, delta)
+
+		a, b := nets(g, 13)
+		ca, ra, errA := ListColorRandomized(a, li)
+		cb, rb, errB := ListColorRandomized(b, li)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s rand: err %v vs %v", name, errA, errB)
+		}
+		sameInts(t, name+"/rand", ca, cb, ra, rb)
+
+		base, k, _ := Linial(local.NewNetwork(g, 14))
+		a2, b2 := nets(g, 15)
+		da, rda, errDA := ListColorDeterministic(a2, li, base, k)
+		db, rdb, errDB := ListColorDeterministic(b2, li, base, k)
+		if (errDA == nil) != (errDB == nil) {
+			t.Fatalf("%s det: err %v vs %v", name, errDA, errDB)
+		}
+		sameInts(t, name+"/det", da, db, rda, rdb)
+	}
+}
+
+// TestStrictCleanPrimitives runs every ported primitive under strict
+// dead-send checking: the halting announcements (bye flags) must keep
+// them free of late dead sends on every topology.
+func TestStrictCleanPrimitives(t *testing.T) {
+	local.SetStrictDeadSends(true)
+	defer local.SetStrictDeadSends(false)
+	for _, g := range fastpathGraphs(t) {
+		n := g.N()
+		net := local.NewNetwork(g, 21)
+		base, k, _ := Linial(net)
+		if _, _, err := ReduceColors(local.NewNetwork(g, 22), base, k, g.MaxDegree()+1); err != nil {
+			t.Fatal(err)
+		}
+		active := make([]bool, n)
+		for v := range active {
+			active[v] = v%3 != 0
+		}
+		LubyMIS(local.NewNetwork(g, 23), active)
+
+		partial := make([]int, n)
+		for v := range partial {
+			partial[v] = -1
+		}
+		li := NewListInstance(g, nil, partial, g.MaxDegree()+1)
+		if _, _, err := ListColorRandomized(local.NewNetwork(g, 24), li); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ListColorDeterministic(local.NewNetwork(g, 25), li, base, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

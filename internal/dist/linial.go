@@ -56,31 +56,51 @@ func linialBestStep(k, delta int) (linialStep, int) {
 	}
 }
 
+// linialState is the cross-round node state of the stepped protocol.
+type linialState struct {
+	color int
+	cur   int   // next schedule step to apply
+	nbr   []int // scratch: neighbor colors of the completed round
+}
+
 // Linial computes an O(Δ²)-coloring in O(log* n) rounds: nodes start from
 // their IDs and run the schedule of polynomial reductions, broadcasting
-// their current color each round. It returns the coloring, the final
-// palette size k, and the number of rounds used.
+// their current color each round over the int fast path. The protocol runs
+// in the executor's stepped form (one Step per reduction round). It
+// returns the coloring, the final palette size k, and the number of rounds
+// used.
 func Linial(net *local.Network) (colors []int, k, rounds int) {
 	g := net.Graph()
 	n := g.N()
 	delta := g.MaxDegree()
 	steps := linialSchedule(n, delta)
 
-	outs := net.Run(func(ctx *local.Ctx) {
-		color := ctx.ID()
-		nbr := make([]int, 0, ctx.Degree())
-		for _, st := range steps {
-			ctx.Broadcast(color)
-			ctx.Next()
-			nbr = nbr[:0]
+	outs := local.RunStepped(net, local.Stepped[linialState]{
+		Init: func(ctx *local.Ctx, s *linialState) bool {
+			s.color = ctx.ID()
+			if len(steps) == 0 {
+				ctx.SetOutput(s.color)
+				return false
+			}
+			ctx.BroadcastInt(s.color)
+			return true
+		},
+		Step: func(ctx *local.Ctx, s *linialState) bool {
+			s.nbr = s.nbr[:0]
 			for p := 0; p < ctx.Degree(); p++ {
-				if m := ctx.Recv(p); m != nil {
-					nbr = append(nbr, m.(int))
+				if m, ok := ctx.RecvInt(p); ok {
+					s.nbr = append(s.nbr, m)
 				}
 			}
-			color = linialRecolor(color, nbr, st)
-		}
-		ctx.SetOutput(color)
+			s.color = linialRecolor(s.color, s.nbr, steps[s.cur])
+			s.cur++
+			if s.cur == len(steps) {
+				ctx.SetOutput(s.color)
+				return false
+			}
+			ctx.BroadcastInt(s.color)
+			return true
+		},
 	})
 
 	colors = make([]int, n)

@@ -69,13 +69,62 @@ func (li *ListInstance) CheckDegPlusOne(g *graph.G) error {
 	return nil
 }
 
-// listMsg is the list-coloring payload: whether the sender's color is
-// final, the color itself (proposal or final; -1 = none) and the sender ID
-// for proposal tie-breaking.
+// listMsg is the boxed list-coloring payload, used only for live proposals
+// (which need the sender ID for tie-breaking): the proposed color plus the
+// sender ID. Everything else the protocols exchange — done/final-color
+// announcements — packs into a single small integer (see encDC) and
+// travels allocation-free over the int fast path.
 type listMsg struct {
-	Done  bool
 	Color int32
 	ID    int32
+}
+
+// encDC packs a (done, bye, color) announcement (color -1 = none) into a
+// non-negative int for the int fast path; decDC unpacks it. The done bit
+// is carried explicitly: a live-but-uncolored node and a stuck (done,
+// no color) node both report color -1 but mean different things to the
+// receiver. The bye bit marks the sender's last words — it halts this
+// round, and the receiver mutes the port so no avoidable dead sends
+// occur (strict mode checks exactly that).
+func encDC(done, bye bool, color int) int {
+	e := (color + 1) << 2
+	if bye {
+		e |= 2
+	}
+	if done {
+		e |= 1
+	}
+	return e
+}
+
+func decDC(e int) (done, bye bool, color int) { return e&1 == 1, e&2 == 2, (e >> 2) - 1 }
+
+// listRandState is the cross-round node state of the randomized protocol.
+type listRandState struct {
+	inactive bool
+	afterB   bool // the next Step completes a round B (else a round A)
+	color    int
+	propose  int
+	stuck    bool // list ran dry (infeasible instance)
+	phase    int
+	list     []int
+	known    []byte // misUnknown / misUndecided-style tracking
+	bye      byeTracker
+	finals   map[int]bool
+}
+
+// lcNote folds a decoded (done, bye) announcement on port p into the
+// tracking state.
+func (s *listRandState) lcNote(p int, done, bye bool, c int) {
+	if bye {
+		s.bye.note(p)
+	}
+	if done {
+		s.known[p] = misIn
+		if c >= 0 {
+			s.finals[c] = true
+		}
+	}
 }
 
 // ListColorRandomized solves the instance with random color trials: each
@@ -94,104 +143,126 @@ func ListColorRandomized(net *local.Network, li *ListInstance) ([]int, int, erro
 		maxPhases += 6
 	}
 
-	outs := net.RunWithInput(func(ctx *local.Ctx) {
-		if !ctx.Input().(bool) {
-			ctx.Broadcast(listMsg{Done: true, Color: -1, ID: int32(ctx.ID())})
-			ctx.Next()
-			ctx.SetOutput(-1)
-			return
+	// sendA stages the round-A exchange: done nodes announce their final
+	// color over the int path; live nodes propose with the boxed message
+	// (the receiver needs their ID).
+	sendA := func(ctx *local.Ctx, s *listRandState) {
+		s.propose = -1
+		if s.color < 0 && !s.stuck {
+			s.propose = s.list[ctx.Rand().Intn(len(s.list))]
 		}
-		list := append([]int(nil), li.Lists[ctx.ID()]...)
-		color := -1
-		stuck := false                      // list ran dry (infeasible instance)
-		known := make([]byte, ctx.Degree()) // misUnknown / misUndecided-style tracking
-		finals := make(map[int]bool)        // colors finalized in the neighborhood
-		propose := -1
-		for phase := 0; phase < maxPhases; phase++ {
-			// Round A: exchange proposals and finished states.
-			propose = -1
-			if color < 0 && !stuck {
-				propose = list[ctx.Rand().Intn(len(list))]
+		if s.color >= 0 || s.stuck {
+			s.bye.castInt(ctx, encDC(true, false, s.color))
+		} else {
+			s.bye.castMsg(ctx, listMsg{Color: int32(s.propose), ID: int32(ctx.ID())})
+		}
+		s.afterB = false
+	}
+
+	outs := local.RunSteppedWithInput(net, local.Stepped[listRandState]{
+		Init: func(ctx *local.Ctx, s *listRandState) bool {
+			if !ctx.Input().(bool) {
+				// Inactive: one done announcement with the bye flag (this
+				// node leaves after the round) so neighbors mute the port.
+				ctx.BroadcastInt(encDC(true, true, -1))
+				s.inactive = true
+				return true
 			}
-			ctx.Broadcast(listMsg{Done: color >= 0 || stuck, Color: int32(pick(color, propose)), ID: int32(ctx.ID())})
-			ctx.Next()
-			type prop struct {
-				color int
-				id    int
+			s.list = append([]int(nil), li.Lists[ctx.ID()]...)
+			s.color = -1
+			s.known = make([]byte, ctx.Degree())
+			s.bye.init(ctx.Degree())
+			s.finals = make(map[int]bool)
+			sendA(ctx, s)
+			return true
+		},
+		Step: func(ctx *local.Ctx, s *listRandState) bool {
+			if s.inactive {
+				ctx.SetOutput(-1)
+				return false
 			}
-			props := make([]prop, 0, ctx.Degree())
-			for p := 0; p < ctx.Degree(); p++ {
-				m := ctx.Recv(p)
-				if m == nil {
-					continue
+			if !s.afterB {
+				// A round A just completed: collect announcements and
+				// competing proposals.
+				type prop struct {
+					color int
+					id    int
 				}
-				mm := m.(listMsg)
-				if mm.Done {
-					known[p] = misIn
-					if mm.Color >= 0 {
-						finals[int(mm.Color)] = true
-					}
-				} else {
-					known[p] = misUndecided
-					if mm.Color >= 0 {
-						props = append(props, prop{color: int(mm.Color), id: int(mm.ID)})
-					}
-				}
-			}
-			if color >= 0 || stuck {
-				done := true
+				props := make([]prop, 0, ctx.Degree())
 				for p := 0; p < ctx.Degree(); p++ {
-					if known[p] != misIn {
-						done = false
-						break
+					if e, ok := ctx.RecvInt(p); ok {
+						done, bye, c := decDC(e)
+						s.lcNote(p, done, bye, c)
+						continue
+					}
+					if m := ctx.Recv(p); m != nil {
+						mm := m.(listMsg)
+						s.known[p] = misUndecided
+						if mm.Color >= 0 {
+							props = append(props, prop{color: int(mm.Color), id: int(mm.ID)})
+						}
 					}
 				}
-				if done {
-					break
-				}
-			}
-			if color < 0 && propose >= 0 && !finals[propose] {
-				keep := true
-				for _, pr := range props {
-					if pr.color == propose && pr.id < ctx.ID() {
-						keep = false
-						break
+				if s.color >= 0 || s.stuck {
+					done := true
+					for p := 0; p < ctx.Degree(); p++ {
+						if s.known[p] != misIn {
+							done = false
+							break
+						}
+					}
+					if done {
+						// Halt: stage one last bye announcement so listening
+						// neighbors mute this port, then leave.
+						s.bye.castInt(ctx, encDC(true, true, s.color))
+						ctx.SetOutput(s.color)
+						return false
 					}
 				}
-				if keep {
-					color = propose
+				if s.color < 0 && s.propose >= 0 && !s.finals[s.propose] {
+					keep := true
+					for _, pr := range props {
+						if pr.color == s.propose && pr.id < ctx.ID() {
+							keep = false
+							break
+						}
+					}
+					if keep {
+						s.color = s.propose
+					}
 				}
+				// Round B: announce the outcome; neighbors prune kept colors.
+				s.bye.castInt(ctx, encDC(s.color >= 0 || s.stuck, false, s.color))
+				s.afterB = true
+				return true
 			}
-			// Round B: announce the outcome; neighbors prune kept colors.
-			ctx.Broadcast(listMsg{Done: color >= 0 || stuck, Color: int32(color), ID: int32(ctx.ID())})
-			ctx.Next()
+			// A round B just completed: record finals and prune the list.
 			for p := 0; p < ctx.Degree(); p++ {
-				m := ctx.Recv(p)
-				if m == nil {
-					continue
-				}
-				mm := m.(listMsg)
-				if mm.Done {
-					known[p] = misIn
-					if mm.Color >= 0 {
-						finals[int(mm.Color)] = true
-					}
+				if e, ok := ctx.RecvInt(p); ok {
+					done, bye, c := decDC(e)
+					s.lcNote(p, done, bye, c)
 				}
 			}
-			if color < 0 {
-				pruned := list[:0]
-				for _, c := range list {
-					if !finals[c] {
+			if s.color < 0 {
+				pruned := s.list[:0]
+				for _, c := range s.list {
+					if !s.finals[c] {
 						pruned = append(pruned, c)
 					}
 				}
-				list = pruned
+				s.list = pruned
 				// An empty list means the instance is infeasible for this
-				// node; it announces Done(-1) next round so neighbors halt.
-				stuck = len(list) == 0
+				// node; it announces done(-1) next round so neighbors halt.
+				s.stuck = len(s.list) == 0
 			}
-		}
-		ctx.SetOutput(color)
+			s.phase++
+			if s.phase >= maxPhases {
+				ctx.SetOutput(s.color)
+				return false
+			}
+			sendA(ctx, s)
+			return true
+		},
 	}, activeInputs(li.Active))
 
 	colors := make([]int, n)
@@ -205,7 +276,9 @@ func ListColorRandomized(net *local.Network, li *ListInstance) ([]int, int, erro
 // proper base coloring (typically Linial's): in the round dedicated to
 // class c, every uncolored active node of that class — an independent set —
 // takes the smallest list color not finalized in its neighborhood. On a
-// (deg+1)-instance every node succeeds, in exactly baseK rounds.
+// (deg+1)-instance every node succeeds, in exactly baseK rounds. The whole
+// protocol ships packed (done, color) integers, so it runs allocation-free
+// on the int fast path.
 func ListColorDeterministic(net *local.Network, li *ListInstance, baseColors []int, baseK int) ([]int, int, error) {
 	g := net.Graph()
 	n := g.N()
@@ -223,30 +296,44 @@ func ListColorDeterministic(net *local.Network, li *ListInstance, baseColors []i
 		}
 	}
 
-	outs := net.RunWithInput(func(ctx *local.Ctx) {
-		active := ctx.Input().(bool)
-		color := -1
-		finals := make(map[int]bool)
-		for class := 0; class < baseK; class++ {
-			ctx.Broadcast(listMsg{Done: color >= 0, Color: int32(color), ID: int32(ctx.ID())})
-			ctx.Next()
+	type listDetState struct {
+		active bool
+		color  int
+		class  int // class whose round the next Step completes
+		finals map[int]bool
+	}
+	outs := local.RunSteppedWithInput(net, local.Stepped[listDetState]{
+		Init: func(ctx *local.Ctx, s *listDetState) bool {
+			s.active = ctx.Input().(bool)
+			s.color = -1
+			s.finals = make(map[int]bool)
+			ctx.BroadcastInt(encDC(false, false, s.color))
+			return true
+		},
+		Step: func(ctx *local.Ctx, s *listDetState) bool {
 			for p := 0; p < ctx.Degree(); p++ {
-				if m := ctx.Recv(p); m != nil {
-					if mm := m.(listMsg); mm.Done && mm.Color >= 0 {
-						finals[int(mm.Color)] = true
+				if e, ok := ctx.RecvInt(p); ok {
+					if done, _, c := decDC(e); done && c >= 0 {
+						s.finals[c] = true
 					}
 				}
 			}
-			if active && color < 0 && baseColors[ctx.ID()] == class {
+			if s.active && s.color < 0 && baseColors[ctx.ID()] == s.class {
 				for _, c := range li.Lists[ctx.ID()] {
-					if !finals[c] {
-						color = c
+					if !s.finals[c] {
+						s.color = c
 						break
 					}
 				}
 			}
-		}
-		ctx.SetOutput(color)
+			s.class++
+			if s.class >= baseK {
+				ctx.SetOutput(s.color)
+				return false
+			}
+			ctx.BroadcastInt(encDC(s.color >= 0, false, s.color))
+			return true
+		},
 	}, activeInputs(li.Active))
 
 	colors := make([]int, n)
@@ -263,14 +350,6 @@ func activeInputs(active []bool) []any {
 		inputs[v] = active[v]
 	}
 	return inputs
-}
-
-// pick returns the final color when set, the proposal otherwise.
-func pick(color, propose int) int {
-	if color >= 0 {
-		return color
-	}
-	return propose
 }
 
 // checkInstanceSolved verifies that every active node took a color from its

@@ -13,8 +13,19 @@ const (
 	misInactive
 )
 
-// misMsg is the per-round payload: sender state, lottery value (only
-// meaningful while undecided) and sender ID for tie-breaking.
+// misBye flags an int-path state announcement as the sender's last words:
+// the sender halts this round, so the receiver stops staging messages on
+// the port. This keeps the early-halt optimization free of avoidable dead
+// sends (strict mode checks exactly that).
+const misBye = 8
+
+// misMsg is the round-A payload of active nodes: sender state, lottery
+// value (only meaningful while undecided) and sender ID for tie-breaking.
+// Round-B announcements and inactive notices carry only a state and travel
+// as small integers over the int fast path, so half of the protocol's
+// traffic is allocation-free; round A keeps the boxed struct (the 64-bit
+// lottery does not fit an int32 payload), which the runtime's mixed-path
+// delivery handles transparently.
 type misMsg struct {
 	State byte
 	R     uint64
@@ -23,6 +34,28 @@ type misMsg struct {
 
 // misDecided reports whether a known neighbor state is final.
 func misDecided(s byte) bool { return s == misIn || s == misOut || s == misInactive }
+
+// misState is the cross-round node state of the stepped protocol.
+type misState struct {
+	inactive bool
+	afterB   bool // the next Step completes a round B (else a round A)
+	state    byte
+	phase    int
+	r        uint64
+	known    []byte
+	knownR   []uint64
+	knownID  []int32
+	bye      byeTracker
+}
+
+// note records a state heard on port p, stripping and remembering a bye.
+func (s *misState) note(p, st int) {
+	if st&misBye != 0 {
+		s.bye.note(p)
+		st &^= misBye
+	}
+	s.known[p] = byte(st)
+}
 
 // LubyMIS computes a maximal independent set of G[active] with Luby's
 // algorithm (active == nil means all nodes participate). Each phase costs
@@ -44,79 +77,113 @@ func LubyMIS(net *local.Network, active []bool) (inMIS []bool, rounds int) {
 
 	maxPhases := 4*n + 16 // termination backstop; never reached in practice
 
-	outs := net.RunWithInput(func(ctx *local.Ctx) {
-		if in, ok := ctx.Input().(bool); ok && !in {
-			// Inactive: announce once so neighbors can discount this port.
-			ctx.Broadcast(misMsg{State: misInactive, ID: int32(ctx.ID())})
-			ctx.Next()
-			ctx.SetOutput(false)
-			return
+	// sendA stages the round-A lottery broadcast, drawing a fresh lottery
+	// value when still undecided.
+	sendA := func(ctx *local.Ctx, s *misState) {
+		s.r = 0
+		if s.state == misUndecided {
+			s.r = ctx.Rand().Uint64()
 		}
-		state := misUndecided
-		known := make([]byte, ctx.Degree())
-		knownR := make([]uint64, ctx.Degree())
-		knownID := make([]int32, ctx.Degree())
-		for phase := 0; phase < maxPhases; phase++ {
-			// Round A: lottery + state exchange.
-			var r uint64
-			if state == misUndecided {
-				r = ctx.Rand().Uint64()
+		s.bye.castMsg(ctx, misMsg{State: s.state, R: s.r, ID: int32(ctx.ID())})
+		s.afterB = false
+	}
+
+	outs := local.RunSteppedWithInput(net, local.Stepped[misState]{
+		Init: func(ctx *local.Ctx, s *misState) bool {
+			if in, ok := ctx.Input().(bool); ok && !in {
+				// Inactive: announce once (with the bye flag: this node is
+				// gone) so neighbors can discount and mute this port.
+				ctx.BroadcastInt(int(misInactive) | misBye)
+				s.inactive = true
+				return true
 			}
-			ctx.Broadcast(misMsg{State: state, R: r, ID: int32(ctx.ID())})
-			ctx.Next()
-			for p := 0; p < ctx.Degree(); p++ {
-				if m := ctx.Recv(p); m != nil {
-					mm := m.(misMsg)
-					known[p], knownR[p], knownID[p] = mm.State, mm.R, mm.ID
-				}
+			s.state = misUndecided
+			s.known = make([]byte, ctx.Degree())
+			s.knownR = make([]uint64, ctx.Degree())
+			s.knownID = make([]int32, ctx.Degree())
+			s.bye.init(ctx.Degree())
+			sendA(ctx, s)
+			return true
+		},
+		Step: func(ctx *local.Ctx, s *misState) bool {
+			if s.inactive {
+				ctx.SetOutput(false)
+				return false
 			}
-			if misDecided(state) {
-				done := true
+			if !s.afterB {
+				// A round A just completed: collect states and lotteries.
 				for p := 0; p < ctx.Degree(); p++ {
-					if !misDecided(known[p]) {
-						done = false
-						break
-					}
-				}
-				if done {
-					// Neighbors saw this node's final state in round A and
-					// treat silence as "unchanged"; safe to halt.
-					break
-				}
-			}
-			if state == misUndecided {
-				win := true
-				for p := 0; p < ctx.Degree(); p++ {
-					if known[p] != misUndecided {
+					if st, ok := ctx.RecvInt(p); ok {
+						// State-only notice (an inactive neighbor's
+						// announcement, or a bye that slid into round A).
+						s.note(p, st)
 						continue
 					}
-					if knownR[p] < r || (knownR[p] == r && int(knownID[p]) < ctx.ID()) {
-						win = false
-						break
+					if m := ctx.Recv(p); m != nil {
+						mm := m.(misMsg)
+						s.known[p], s.knownR[p], s.knownID[p] = mm.State, mm.R, mm.ID
 					}
 				}
-				if win {
-					state = misIn
+				if misDecided(s.state) {
+					done := true
+					for p := 0; p < ctx.Degree(); p++ {
+						if !misDecided(s.known[p]) {
+							done = false
+							break
+						}
+					}
+					if done {
+						// Halt: stage one last announcement with the bye
+						// flag so listening neighbors mute this port, then
+						// leave (staged sends of a halting node are still
+						// delivered).
+						s.bye.castInt(ctx, int(s.state)|misBye)
+						ctx.SetOutput(s.state == misIn)
+						return false
+					}
 				}
+				if s.state == misUndecided {
+					win := true
+					for p := 0; p < ctx.Degree(); p++ {
+						if s.known[p] != misUndecided {
+							continue
+						}
+						if s.knownR[p] < s.r || (s.knownR[p] == s.r && int(s.knownID[p]) < ctx.ID()) {
+							win = false
+							break
+						}
+					}
+					if win {
+						s.state = misIn
+					}
+				}
+				// Round B: announce joins (a bare state, int fast path).
+				s.bye.castInt(ctx, int(s.state))
+				s.afterB = true
+				return true
 			}
-			// Round B: announce joins.
-			ctx.Broadcast(misMsg{State: state, ID: int32(ctx.ID())})
-			ctx.Next()
+			// A round B just completed: record joins, drop out next to one.
 			for p := 0; p < ctx.Degree(); p++ {
-				if m := ctx.Recv(p); m != nil {
-					known[p] = m.(misMsg).State
+				if st, ok := ctx.RecvInt(p); ok {
+					s.note(p, st)
 				}
 			}
-			if state == misUndecided {
+			if s.state == misUndecided {
 				for p := 0; p < ctx.Degree(); p++ {
-					if known[p] == misIn {
-						state = misOut
+					if s.known[p] == misIn {
+						s.state = misOut
 						break
 					}
 				}
 			}
-		}
-		ctx.SetOutput(state == misIn)
+			s.phase++
+			if s.phase >= maxPhases {
+				ctx.SetOutput(s.state == misIn)
+				return false
+			}
+			sendA(ctx, s)
+			return true
+		},
 	}, inputs)
 
 	inMIS = make([]bool, n)

@@ -43,32 +43,44 @@ func ReduceColors(net *local.Network, base []int, k, target int) ([]int, int, er
 	for v := range inputs {
 		inputs[v] = base[v]
 	}
-	outs := net.RunWithInput(func(ctx *local.Ctx) {
-		color := ctx.Input().(int)
-		for c := k - 1; c >= target; c-- {
-			ctx.Broadcast(color)
-			ctx.Next()
-			if color != c {
-				continue
-			}
-			used := make([]bool, target)
-			for p := 0; p < ctx.Degree(); p++ {
-				if m := ctx.Recv(p); m != nil {
-					if nc := m.(int); nc < target {
-						used[nc] = true
+	// Stepped protocol: one Step per color class, counting down from k-1.
+	// Colors travel over the int fast path.
+	type reduceState struct {
+		color int
+		class int // class whose round the next Step completes
+	}
+	outs := local.RunSteppedWithInput(net, local.Stepped[reduceState]{
+		Init: func(ctx *local.Ctx, s *reduceState) bool {
+			s.color = ctx.Input().(int)
+			s.class = k - 1
+			ctx.BroadcastInt(s.color)
+			return true
+		},
+		Step: func(ctx *local.Ctx, s *reduceState) bool {
+			if s.color == s.class {
+				used := make([]bool, target)
+				for p := 0; p < ctx.Degree(); p++ {
+					if m, ok := ctx.RecvInt(p); ok && m < target {
+						used[m] = true
 					}
 				}
-			}
-			for f := 0; f < target; f++ {
-				if !used[f] {
-					color = f
-					break
+				for f := 0; f < target; f++ {
+					if !used[f] {
+						s.color = f
+						break
+					}
 				}
+				// No free color (target <= degree): keep the old color so
+				// neighbors still see a consistent palette; reported below.
 			}
-			// No free color (target <= degree): keep the old color so
-			// neighbors still see a consistent palette; reported below.
-		}
-		ctx.SetOutput(color)
+			s.class--
+			if s.class < target {
+				ctx.SetOutput(s.color)
+				return false
+			}
+			ctx.BroadcastInt(s.color)
+			return true
+		},
 	}, inputs)
 
 	colors := make([]int, n)

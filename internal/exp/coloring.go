@@ -25,6 +25,7 @@ func mustColoring(g *graph.G, colors []int, delta int, what string) {
 // alongside rounds/(log log n)², which the theorem predicts stays bounded,
 // and the log-log slope (sublogarithmic growth shows as slope << 1).
 func E1SmallDelta(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E1",
 		Title:  "Theorem 1 / Corollary 2 — randomized small-Δ coloring, rounds vs n",
@@ -61,6 +62,7 @@ func E1SmallDelta(cfg Config) *Table {
 // rounds and rounds/log Δ, which the theorem predicts approaches a constant
 // plus the (n-dependent) shattering term.
 func E2LargeDelta(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E2",
 		Title:  "Theorem 3 — randomized large-Δ coloring, rounds vs Δ at fixed n",
@@ -94,6 +96,7 @@ func E2LargeDelta(cfg Config) *Table {
 // list-coloring subroutine, see DESIGN.md §3). The log²n growth in n is the
 // reproducible shape: rounds/log²n should flatten per Δ.
 func E3Deterministic(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E3",
 		Title:  "Theorem 4 — deterministic coloring, rounds vs n (fit against log² n)",
@@ -131,6 +134,7 @@ func E3Deterministic(cfg Config) *Table {
 // art, O(log³n/log Δ) rounds). The shape that must hold: the randomized
 // algorithm wins on every workload, by a factor that grows with n.
 func E4Baseline(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E4",
 		Title:  "Headline — this paper vs Panconesi–Srinivasan baseline",
@@ -177,6 +181,7 @@ func E4Baseline(cfg Config) *Table {
 // decomposition). Both must produce valid colorings; the table reports
 // their round counts side by side.
 func E8NetDec(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E8",
 		Title:  "Theorem 21 — network-decomposition variant vs Theorem 4 variant",

@@ -16,6 +16,7 @@ import (
 // exactly the primitive whose messages grow with the neighborhood — the
 // formal reason the paper's algorithms are LOCAL-model results.
 func E11Congest(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E11",
 		Title:  "CONGEST profile — message sizes of the distributed primitives",

@@ -5,6 +5,8 @@
 package exp
 
 import (
+	"deltacolor/local"
+
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -14,10 +16,22 @@ import (
 
 // Config scales the experiments. The zero value selects the full
 // EXPERIMENTS.md parameters; Quick shrinks every sweep to smoke-test size
-// (used by -short tests and the benchmark harness's inner loop).
+// (used by -short tests and the benchmark harness's inner loop). Strict
+// turns every late dead send — a message staged for a neighbor the sender
+// could already have known was halted (local.LateDeadSends) — into a
+// panic via local.SetStrictDeadSends, so dead-send protocol regressions
+// fail the harness — and CI — instead of surfacing in user runs.
 type Config struct {
-	Quick bool
-	Seed  int64
+	Quick  bool
+	Seed   int64
+	Strict bool
+}
+
+// install applies the config's process-wide settings. Every experiment
+// runner calls it first, so a runner invoked directly (tests, benchsuite
+// -only) still honors -strict.
+func (c Config) install() {
+	local.SetStrictDeadSends(c.Strict)
 }
 
 // Table is one experiment's output: a titled grid of rows plus free-form

@@ -1,13 +1,14 @@
 package exp
 
 // E12: runtime throughput. Unlike E1–E11, which measure the *algorithms*
-// (rounds, messages), E12 measures the *simulator*: how fast the sharded
-// LOCAL scheduler constructs networks and turns rounds over at scale. The
-// workload is a fixed-length heartbeat protocol (every node broadcasts a
-// small integer each round and folds in what it hears), so the numbers
-// isolate scheduler cost from algorithmic cost. cmd/benchsuite serializes
-// the report to BENCH_runtime.json so the performance trajectory of the
-// runtime is tracked across PRs.
+// (rounds, messages), E12 measures the *simulator*: how fast the batched
+// LOCAL round engine constructs networks and turns rounds over at scale.
+// The workload is a fixed-length heartbeat protocol (every node broadcasts
+// a small integer each round through the int fast path and folds in what
+// it hears), so the numbers isolate scheduler cost from algorithmic cost.
+// cmd/benchsuite serializes the report to BENCH_runtime.json so the
+// performance trajectory of the runtime is tracked across PRs, and
+// CompareRuntime turns a pair of reports into a CI regression gate.
 
 import (
 	"encoding/json"
@@ -22,8 +23,13 @@ import (
 	"deltacolor/local"
 )
 
-// RuntimeSchema identifies the BENCH_runtime.json layout.
-const RuntimeSchema = "deltacolor/bench-runtime/v1"
+// RuntimeSchema identifies the BENCH_runtime.json layout. v2 adds the
+// explicit workers column (rounds/s is always measured single-worker for
+// machine comparability) and the GOMAXPROCS-sweep columns.
+const RuntimeSchema = "deltacolor/bench-runtime/v2"
+
+// runtimeSchemaV1 is accepted as a comparison baseline (PR 2 reports).
+const runtimeSchemaV1 = "deltacolor/bench-runtime/v1"
 
 // RuntimeRow is one (family, n) measurement.
 type RuntimeRow struct {
@@ -33,9 +39,15 @@ type RuntimeRow struct {
 	Delta          int     `json:"delta"`
 	Rounds         int     `json:"rounds"`
 	BuildMillis    float64 `json:"build_ms"` // NewNetwork construction
-	RunMillis      float64 `json:"run_ms"`   // full Run wall time
+	RunMillis      float64 `json:"run_ms"`   // full Run wall time, 1 worker
+	Workers        int     `json:"workers"`  // worker count of the main measurement (always 1)
 	RoundsPerSec   float64 `json:"rounds_per_sec"`
 	AllocsPerRound float64 `json:"allocs_per_round"`
+
+	// GOMAXPROCS sweep: the same run with a worker per CPU. Zero when the
+	// host has a single CPU (the sweep would measure nothing).
+	WorkersMP      int     `json:"workers_mp,omitempty"`
+	RoundsPerSecMP float64 `json:"rounds_per_sec_mp,omitempty"`
 }
 
 // RuntimeReport is the full E12 output, serialized to BENCH_runtime.json.
@@ -47,21 +59,40 @@ type RuntimeReport struct {
 	Rows       []RuntimeRow `json:"rows"`
 }
 
-// heartbeat is the uniform scheduler workload: r rounds of broadcast+fold.
-func heartbeat(r int) local.NodeFunc {
-	return func(ctx *local.Ctx) {
-		sum := ctx.ID() & 0xff
-		for i := 0; i < r; i++ {
-			ctx.Broadcast(sum & 0xff)
-			ctx.Next()
+// heartbeat is the uniform scheduler workload: r rounds of broadcast+fold
+// over the small-integer fast path, in the executor's native stepped form
+// (per-node state is one struct in a flat array — no stacks, no boxing).
+func heartbeat(r int) local.Stepped[heartbeatState] {
+	return local.Stepped[heartbeatState]{
+		Init: func(ctx *local.Ctx, s *heartbeatState) bool {
+			s.sum = ctx.ID() & 0xff
+			if r == 0 {
+				ctx.SetOutput(s.sum & 0xff)
+				return false
+			}
+			ctx.BroadcastInt(s.sum & 0xff)
+			return true
+		},
+		Step: func(ctx *local.Ctx, s *heartbeatState) bool {
 			for p := 0; p < ctx.Degree(); p++ {
-				if m, ok := ctx.Recv(p).(int); ok {
-					sum += m
+				if m, ok := ctx.RecvInt(p); ok {
+					s.sum += m
 				}
 			}
-		}
-		ctx.SetOutput(sum)
+			s.round++
+			if s.round == r {
+				ctx.SetOutput(s.sum & 0xff)
+				return false
+			}
+			ctx.BroadcastInt(s.sum & 0xff)
+			return true
+		},
 	}
+}
+
+type heartbeatState struct {
+	sum   int
+	round int
 }
 
 // runtimeCase builds one graph family instance.
@@ -79,9 +110,13 @@ func runtimeCase(family string, n int, seed int64) *graph.G {
 }
 
 // RuntimeThroughput measures scheduler throughput across the graph
-// families. The clique family is capped by edge count (a million-node
-// clique has 5·10¹¹ edges), so it scales n where the others scale edges.
+// families. Rounds/s is measured with a single worker so the number is
+// comparable across hosts; when the host has more than one CPU the same
+// case is re-run with a worker per CPU for the GOMAXPROCS sweep. The
+// clique family is capped by edge count (a million-node clique has
+// 5·10¹¹ edges), so it scales n where the others scale edges.
 func RuntimeThroughput(cfg Config) *RuntimeReport {
+	cfg.install()
 	rep := &RuntimeReport{
 		Schema:     RuntimeSchema,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -104,17 +139,22 @@ func RuntimeThroughput(cfg Config) *RuntimeReport {
 		for _, n := range []int{10_000, 100_000, 1_000_000} {
 			cases = append(cases, c{"path", n}, c{"rr4", n})
 		}
-		cases = append(cases, c{"clique", 512}, c{"clique", 1024}, c{"clique", 2048})
+		// clique 256 is also a quick-mode case: sharing one n with the
+		// quick sweep lets the CI benchmark-delta gate cover the clique
+		// family (CompareRuntime can only gate common (family, n) rows).
+		cases = append(cases, c{"clique", 256}, c{"clique", 512}, c{"clique", 1024}, c{"clique", 2048})
 	}
+	ncpu := runtime.NumCPU()
 	for _, tc := range cases {
 		g := runtimeCase(tc.family, tc.n, cfg.Seed)
 		t0 := time.Now()
 		net := local.NewNetwork(g, cfg.Seed)
 		build := time.Since(t0)
+		net.SetWorkers(1)
 
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
-		net.Run(heartbeat(rounds))
+		local.RunStepped(net, heartbeat(rounds))
 		runtime.ReadMemStats(&after)
 
 		st := net.LastRunStats()
@@ -126,10 +166,17 @@ func RuntimeThroughput(cfg Config) *RuntimeReport {
 			Rounds:       st.Rounds,
 			BuildMillis:  float64(build.Microseconds()) / 1000,
 			RunMillis:    float64(st.WallTime.Microseconds()) / 1000,
+			Workers:      1,
 			RoundsPerSec: st.RoundsPerSec,
 		}
 		if st.Rounds > 0 {
 			row.AllocsPerRound = float64(after.Mallocs-before.Mallocs) / float64(st.Rounds)
+		}
+		if ncpu > 1 {
+			net.SetWorkers(ncpu)
+			local.RunStepped(net, heartbeat(rounds))
+			row.WorkersMP = ncpu
+			row.RoundsPerSecMP = net.LastRunStats().RoundsPerSec
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -140,17 +187,32 @@ func RuntimeThroughput(cfg Config) *RuntimeReport {
 func (rep *RuntimeReport) Table() *Table {
 	t := &Table{
 		ID:     "E12",
-		Title:  "Runtime throughput (sharded LOCAL scheduler, heartbeat workload)",
-		Header: []string{"family", "n", "edges", "rounds", "build ms", "run ms", "rounds/s", "allocs/round"},
+		Title:  "Runtime throughput (batched LOCAL round engine, int-path heartbeat workload)",
+		Header: []string{"family", "n", "edges", "rounds", "build ms", "run ms", "rounds/s (1w)", "allocs/round", fmt.Sprintf("rounds/s (%dw)", rep.sweepWorkers())},
 	}
 	for _, r := range rep.Rows {
+		mp := "-"
+		if r.WorkersMP > 0 {
+			mp = f2(r.RoundsPerSecMP)
+		}
 		t.AddRow(r.Family, itoa(r.N), itoa(r.Edges), itoa(r.Rounds),
 			f2(r.BuildMillis), f2(r.RunMillis), f2(r.RoundsPerSec),
-			fmt.Sprintf("%.0f", r.AllocsPerRound))
+			fmt.Sprintf("%.0f", r.AllocsPerRound), mp)
 	}
-	t.AddNote("GOMAXPROCS=%d, quick=%v; network construction is O(n + Σ deg), rounds cost O(active + messages).",
+	t.AddNote("GOMAXPROCS=%d, quick=%v; rounds/s measured with one worker (host-comparable), the sweep column with a worker per CPU. Network construction is O(n + Σ deg); a round costs O(workers) park/wake transitions and zero allocations on the int path.",
 		rep.GoMaxProcs, rep.Quick)
 	return t
+}
+
+// sweepWorkers returns the worker count of the sweep column (for the
+// header), defaulting to the host CPU count when no row carries one.
+func (rep *RuntimeReport) sweepWorkers() int {
+	for _, r := range rep.Rows {
+		if r.WorkersMP > 0 {
+			return r.WorkersMP
+		}
+	}
+	return runtime.NumCPU()
 }
 
 // WriteJSON serializes the report (BENCH_runtime.json).
@@ -158,6 +220,59 @@ func (rep *RuntimeReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// ReadRuntimeReport parses a report previously written by WriteJSON. Both
+// the current schema and the PR 2 v1 layout are accepted (v1 rows carry no
+// workers column; their rounds/s was measured at GOMAXPROCS=1, so they
+// compare directly against the v2 single-worker measurement).
+func ReadRuntimeReport(r io.Reader) (*RuntimeReport, error) {
+	var rep RuntimeReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("runtime report: %w", err)
+	}
+	if rep.Schema != RuntimeSchema && rep.Schema != runtimeSchemaV1 {
+		return nil, fmt.Errorf("runtime report: unknown schema %q", rep.Schema)
+	}
+	return &rep, nil
+}
+
+// CompareRuntime checks cur against a baseline report: for every family
+// present in both, at the largest common n, single-worker rounds/s must
+// not fall more than maxRegress (a fraction, e.g. 0.30) below the
+// baseline. It returns an error describing the first regression, or when
+// the reports share no rows at all — a silently vacuous gate would defeat
+// the point of the CI step.
+func CompareRuntime(cur, base *RuntimeReport, maxRegress float64) error {
+	type key struct {
+		family string
+		n      int
+	}
+	baseRows := map[key]RuntimeRow{}
+	for _, r := range base.Rows {
+		baseRows[key{r.Family, r.N}] = r
+	}
+	largest := map[string]RuntimeRow{}
+	for _, r := range cur.Rows {
+		if _, ok := baseRows[key{r.Family, r.N}]; !ok {
+			continue
+		}
+		if best, ok := largest[r.Family]; !ok || r.N > best.N {
+			largest[r.Family] = r
+		}
+	}
+	if len(largest) == 0 {
+		return fmt.Errorf("benchmark delta: no (family, n) rows in common between current and baseline reports")
+	}
+	for family, r := range largest {
+		b := baseRows[key{family, r.N}]
+		floor := b.RoundsPerSec * (1 - maxRegress)
+		if r.RoundsPerSec < floor {
+			return fmt.Errorf("benchmark delta: %s n=%d regressed: %.2f rounds/s vs baseline %.2f (floor %.2f at -%.0f%%)",
+				family, r.N, r.RoundsPerSec, b.RoundsPerSec, floor, maxRegress*100)
+		}
+	}
+	return nil
 }
 
 // E12Runtime adapts RuntimeThroughput to the experiment-runner signature.

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"deltacolor/local"
+)
+
+func runtimeRow(family string, n int, rps float64) RuntimeRow {
+	return RuntimeRow{Family: family, N: n, Rounds: 8, Workers: 1, RoundsPerSec: rps}
+}
+
+func TestCompareRuntime(t *testing.T) {
+	base := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		runtimeRow("path", 1000, 100),
+		runtimeRow("path", 10000, 50),
+		runtimeRow("rr4", 10000, 40),
+	}}
+
+	ok := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		runtimeRow("path", 1000, 10), // small-n regressions are not gated
+		runtimeRow("path", 10000, 40),
+		runtimeRow("rr4", 10000, 35),
+	}}
+	if err := CompareRuntime(ok, base, 0.30); err != nil {
+		t.Fatalf("within tolerance, got %v", err)
+	}
+
+	bad := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		runtimeRow("path", 10000, 30), // -40% at the largest common n
+		runtimeRow("rr4", 10000, 39),
+	}}
+	if err := CompareRuntime(bad, base, 0.30); err == nil {
+		t.Fatal("40% regression at largest n must fail")
+	}
+
+	disjoint := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		runtimeRow("clique", 512, 5),
+	}}
+	if err := CompareRuntime(disjoint, base, 0.30); err == nil {
+		t.Fatal("no common rows must fail, not pass vacuously")
+	}
+}
+
+func TestRuntimeReportRoundTripAndV1Baseline(t *testing.T) {
+	rep := &RuntimeReport{Schema: RuntimeSchema, GoMaxProcs: 1, Rows: []RuntimeRow{runtimeRow("path", 1000, 100)}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRuntimeReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0].RoundsPerSec != 100 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	// A v1-era baseline (no workers column) must parse and compare.
+	v1 := bytes.NewBufferString(`{"schema":"deltacolor/bench-runtime/v1","gomaxprocs":1,
+		"rows":[{"family":"path","n":1000,"rounds":16,"rounds_per_sec":90}]}`)
+	base, err := ReadRuntimeReport(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareRuntime(rep, base, 0.30); err != nil {
+		t.Fatalf("v2 vs v1 comparison: %v", err)
+	}
+
+	bad := bytes.NewBufferString(`{"schema":"bogus/v9"}`)
+	if _, err := ReadRuntimeReport(bad); err == nil {
+		t.Fatal("unknown schema must be rejected")
+	}
+}
+
+// TestStrictQuickE12AndE11 smoke-runs two experiment runners with the
+// strict dead-send gate installed: the harness protocols must stay free
+// of late dead sends (a panic here is a protocol regression).
+func TestStrictQuickE12AndE11(t *testing.T) {
+	defer local.SetStrictDeadSends(false)
+	cfg := Config{Quick: true, Seed: 31, Strict: true}
+	if tb := E12Runtime(cfg); len(tb.Rows) == 0 {
+		t.Fatal("E12 produced no rows")
+	}
+	if !local.StrictDeadSends() {
+		t.Fatal("runner did not install the strict default")
+	}
+	if tb := E11Congest(cfg); len(tb.Rows) == 0 {
+		t.Fatal("E11 produced no rows")
+	}
+}

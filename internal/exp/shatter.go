@@ -26,6 +26,7 @@ func colorForTest(g *graph.G, seed int64) ([]int, error) {
 // the measured survival rate and the largest surviving component against
 // the c·log n shape.
 func E6Shattering(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E6",
 		Title:  "Lemmas 22–24 — shattering: survival rate and component size vs log n",
@@ -72,6 +73,7 @@ func E6Shattering(cfg Config) *Table {
 // the DCC radius r. The table shows why the paper's choices balance T-node
 // density (coverage) against blocked paths.
 func E10Ablations(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E10",
 		Title:  "Ablations — marking backoff b, selection probability p, radius r",

@@ -19,6 +19,7 @@ import (
 // DCCs that kill it); the torus does NOT (4-cycles everywhere), which the
 // table shows as a precondition failure, not a lemma violation.
 func E5Expansion(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E5",
 		Title:  "Lemmas 12/14/15 — BFS expansion in DCC-free balls",
@@ -98,6 +99,7 @@ func E5Expansion(cfg Config) *Table {
 // chance by sampling many nodes, and measure the touched radius and rounds
 // against the bound.
 func E7Brooks(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E7",
 		Title:  "Theorem 5 — distributed Brooks: recoloring radius vs 2·log_{Δ-1} n",
@@ -168,6 +170,7 @@ func E7Brooks(cfg Config) *Table {
 // actual token walk. Reported separately so the easy and hard cases are
 // both visible.
 func E7Adversarial(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E7b",
 		Title:  "Theorem 5 (adversarial) — forced token walks",
@@ -274,6 +277,7 @@ func stuckInstance(g *graph.G, v, delta int) []int {
 // and count violations — the lemmas predict zero violations whenever the
 // precondition (no DCC within the radius) holds.
 func E9Structure(cfg Config) *Table {
+	cfg.install()
 	t := &Table{
 		ID:     "E9",
 		Title:  "Lemmas 10/13 — unique BFS trees and clique neighborhoods in DCC-free balls",

@@ -1,0 +1,268 @@
+package local
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"deltacolor/graph"
+)
+
+// intFlood mirrors floodProtocol on the int fast path, as a stepped
+// program: irregular halting, per-node randomness, broadcast+fold.
+func intFloodStepped(rounds int) Stepped[[2]int] {
+	return Stepped[[2]int]{
+		Init: func(ctx *Ctx, s *[2]int) bool {
+			s[0] = ctx.Rand().Intn(1000)
+			if rounds+ctx.ID()%5 == 0 {
+				ctx.SetOutput(s[0])
+				return false
+			}
+			ctx.BroadcastInt(s[0])
+			return true
+		},
+		Step: func(ctx *Ctx, s *[2]int) bool {
+			for p := 0; p < ctx.Degree(); p++ {
+				if m, ok := ctx.RecvInt(p); ok {
+					s[0] = (s[0] + m) % 1_000_003
+				}
+			}
+			s[1]++
+			if s[1] == rounds+ctx.ID()%5 {
+				ctx.SetOutput(s[0])
+				return false
+			}
+			ctx.BroadcastInt(s[0])
+			return true
+		},
+	}
+}
+
+// TestBatchSizeInvariance runs the same protocol under forced batch sizes
+// (including size 1 and a size larger than the network) crossed with
+// worker counts and requires identical outputs and round counts: batching
+// is a scheduling detail, never a semantic one.
+func TestBatchSizeInvariance(t *testing.T) {
+	g := randomGraph(200, 0.03, 42)
+	run := func(batchSize, workers int) ([]any, int) {
+		net := NewNetwork(g, 7)
+		net.setBatch(batchSize)
+		net.setShards(workers)
+		outs := net.Run(floodProtocol(4))
+		return outs, net.Rounds()
+	}
+	base, baseRounds := run(0, 1)
+	for _, bs := range []int{1, 3, 64, 1024} {
+		for _, w := range []int{1, 3, 8} {
+			outs, rounds := run(bs, w)
+			if rounds != baseRounds {
+				t.Fatalf("batch=%d workers=%d: rounds=%d, want %d", bs, w, rounds, baseRounds)
+			}
+			for v := range outs {
+				if outs[v] != base[v] {
+					t.Fatalf("batch=%d workers=%d: output[%d]=%v, want %v", bs, w, v, outs[v], base[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSteppedMatchesBlocking runs the same irregular protocol in blocking
+// (coroutine) and stepped form and requires identical outputs and rounds:
+// the stepped form is the exact unrolling of the blocking one.
+func TestSteppedMatchesBlocking(t *testing.T) {
+	g := randomGraph(150, 0.04, 9)
+	blocking := NewNetwork(g, 7)
+	wantOuts := blocking.Run(func(ctx *Ctx) {
+		sum := ctx.Rand().Intn(1000)
+		for i := 0; i < 4+ctx.ID()%5; i++ {
+			ctx.BroadcastInt(sum)
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if m, ok := ctx.RecvInt(p); ok {
+					sum = (sum + m) % 1_000_003
+				}
+			}
+		}
+		ctx.SetOutput(sum)
+	})
+	wantRounds := blocking.Rounds()
+
+	stepped := NewNetwork(g, 7)
+	stepped.setBatch(16)
+	gotOuts := RunStepped(stepped, intFloodStepped(4))
+	if stepped.Rounds() != wantRounds {
+		t.Fatalf("stepped rounds=%d, blocking rounds=%d", stepped.Rounds(), wantRounds)
+	}
+	for v := range wantOuts {
+		if gotOuts[v] != wantOuts[v] {
+			t.Fatalf("node %d: stepped=%v blocking=%v", v, gotOuts[v], wantOuts[v])
+		}
+	}
+}
+
+// TestIntPathDirectionalityAndOverwrite exercises SendInt slot placement
+// and the cross-path overwrite contract (one message per edge per round,
+// last staging wins regardless of path).
+func TestIntPathDirectionalityAndOverwrite(t *testing.T) {
+	g := pathGraph(2)
+	net := NewNetwork(g, 1)
+	outs := net.Run(func(ctx *Ctx) {
+		switch ctx.ID() {
+		case 0:
+			// Stage boxed, overwrite with int: receiver must see the int.
+			ctx.Send(0, "boxed")
+			ctx.SendInt(0, 41)
+			ctx.Next()
+			v, ok := ctx.RecvInt(0)
+			if !ok {
+				t.Error("node 0: no int received")
+			}
+			ctx.SetOutput(v)
+		case 1:
+			// Stage int, overwrite with boxed: receiver must see the boxed.
+			ctx.SendInt(0, 99)
+			ctx.Send(0, 42)
+			ctx.Next()
+			// Mixed read: Recv surfaces the int-path message too.
+			m := ctx.Recv(0)
+			ctx.SetOutput(m)
+		}
+	})
+	if outs[0] != 42 || outs[1] != 41 {
+		t.Fatalf("outs = %v, want [42 41]", outs)
+	}
+}
+
+// TestIntPathOverflowFallsBack sends a value outside int32: it must arrive
+// through the boxed fallback, visible to both Recv and RecvInt.
+func TestIntPathOverflowFallsBack(t *testing.T) {
+	g := pathGraph(2)
+	big := int(1) << 40
+	net := NewNetwork(g, 1)
+	outs := net.Run(func(ctx *Ctx) {
+		ctx.BroadcastInt(big)
+		ctx.Next()
+		v, ok := ctx.RecvInt(0)
+		if !ok {
+			t.Errorf("node %d: no int received", ctx.ID())
+		}
+		ctx.SetOutput(v)
+	})
+	for v, o := range outs {
+		if o != big {
+			t.Fatalf("node %d got %v, want %d", v, o, big)
+		}
+	}
+}
+
+// TestBroadcastDegreeZero pins the degree-0 contract: Broadcast and
+// BroadcastInt are no-ops (no sender registration) and the run completes
+// normally for isolated nodes.
+func TestBroadcastDegreeZero(t *testing.T) {
+	g := graph.New(3)
+	g.MustEdge(0, 1) // node 2 stays isolated
+	net := NewNetwork(g, 1)
+	outs := net.Run(func(ctx *Ctx) {
+		ctx.Broadcast("x")
+		ctx.BroadcastInt(7)
+		if ctx.Degree() == 0 && ctx.sentAny {
+			t.Error("degree-0 broadcast must not register the node as a sender")
+		}
+		ctx.Next()
+		got := false
+		if ctx.Degree() > 0 {
+			got = ctx.Recv(0) != nil
+		}
+		ctx.SetOutput(got)
+	})
+	if outs[0] != true || outs[1] != true || outs[2] != false {
+		t.Fatalf("outs = %v, want [true true false]", outs)
+	}
+}
+
+// TestIntPathDeadSendsAndStats checks dead-send tracking, HaltRound
+// bookkeeping and the 4-byte message costing on the int path.
+func TestIntPathDeadSendsAndStats(t *testing.T) {
+	g := pathGraph(2)
+	net := NewNetwork(g, 1)
+	net.TrackDeadSends(true)
+	net.EnableMessageStats()
+	net.Run(func(ctx *Ctx) {
+		if ctx.ID() == 0 {
+			return // halts in sweep 0 => HaltRound 1
+		}
+		ctx.SendInt(0, 1)
+		ctx.Next()
+		ctx.SendInt(0, 2)
+		ctx.Next()
+	})
+	dead := net.DeadSends()
+	if len(dead) != 2 {
+		t.Fatalf("dead sends = %v, want 2 records", dead)
+	}
+	for i, d := range dead {
+		if d.From != 1 || d.To != 0 || d.Round != i+1 || d.HaltRound != 1 {
+			t.Fatalf("dead[%d] = %+v", i, d)
+		}
+	}
+	// Round 1 crossed the halt in flight (forgivable); round 2 is late.
+	late := net.LateDeadSends()
+	if len(late) != 1 || late[0].Round != 2 {
+		t.Fatalf("late dead sends = %v, want the round-2 record only", late)
+	}
+	st := net.MessageStats()
+	if st.Messages != 2 || st.TotalBytes != 8 || st.MaxBytes != intMsgBytes {
+		t.Fatalf("stats = %+v, want 2 messages x 4 bytes", st)
+	}
+	if st.Dropped != 2 {
+		t.Fatalf("stats.Dropped = %d, want 2", st.Dropped)
+	}
+}
+
+// TestIntPathZeroAllocsPerRound is the allocation-regression gate for the
+// tentpole: staging and delivering int-path messages must not allocate.
+// The per-run setup cost is cancelled by differencing a short against a
+// long run of the same protocol on the same graph.
+func TestIntPathZeroAllocsPerRound(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g := cycleGraph(512)
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			net := NewNetwork(g, 1)
+			RunStepped(net, intFloodStepped(rounds))
+		})
+	}
+	short, long := measure(5), measure(105)
+	perRound := (long - short) / 100
+	if perRound > 0.05 {
+		t.Fatalf("int path allocates %.2f allocs/round (short=%.0f long=%.0f), want 0", perRound, short, long)
+	}
+}
+
+// TestSteppedNetworkReuseAndReseed reuses one network across stepped runs
+// with different seeds: state must fully reset and randomness must follow
+// the new seed, matching a freshly built network.
+func TestSteppedNetworkReuseAndReseed(t *testing.T) {
+	g := cycleGraph(40)
+	reused := NewNetwork(g, 1)
+	first := RunStepped(reused, intFloodStepped(3))
+	reused.Reseed(99)
+	second := RunStepped(reused, intFloodStepped(3))
+
+	fresh := NewNetwork(g, 99)
+	wantSecond := RunStepped(fresh, intFloodStepped(3))
+	for v := range second {
+		if second[v] != wantSecond[v] {
+			t.Fatalf("reseeded run diverges from fresh network at node %d: %v vs %v", v, second[v], wantSecond[v])
+		}
+	}
+	same := true
+	for v := range first {
+		if first[v] != second[v] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different outputs")
+	}
+}

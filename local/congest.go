@@ -33,35 +33,59 @@ func (net *Network) EnableMessageStats() {
 // nil when EnableMessageStats was not called.
 func (net *Network) MessageStats() *MessageStats { return net.stats }
 
-// recordMessages is called by the round coordinator before delivery, with
-// the staged messages of the closing round. It walks only the active
-// sender lists, so rounds where few nodes speak cost little to measure.
+// intMsgBytes is the wire size charged per int-path message: one int32
+// payload, the honest CONGEST cost of the small-integer protocols.
+const intMsgBytes = 4
+
+// recordMessages is called by the coordinator before delivery, with the
+// staged messages of the closing round. It walks only the active sender
+// lists (batch by batch, in deterministic order), so rounds where few
+// nodes speak cost little to measure. Boxed messages are costed by a
+// reflection walk; int-path messages are a flat int32 each.
 func (net *Network) recordMessages() {
 	any := false
-	for i := range net.shards {
-		for _, c := range net.shards[i].senders {
-			for p, msg := range c.out {
-				if msg == nil {
-					continue
+	for i := range net.batches {
+		for _, id := range net.batches[i].senders {
+			c := &net.ctxs[id]
+			ports := net.ports[id]
+			if c.nBoxed > 0 {
+				for p, msg := range c.out {
+					if msg == nil {
+						continue
+					}
+					any = true
+					sz := estimateSize(reflect.ValueOf(msg), 0)
+					net.record(sz, ports[p])
 				}
-				any = true
-				sz := estimateSize(reflect.ValueOf(msg), 0)
-				net.stats.Messages++
-				net.stats.TotalBytes += sz
-				if sz > net.stats.MaxBytes {
-					net.stats.MaxBytes = sz
-					// completeRound has not incremented the counter yet, so the
-					// closing round is rounds+1 in 1-based reporting.
-					net.stats.MaxRound = net.rounds + 1
-				}
-				if net.ctxs[net.ports[c.id][p]].halted {
-					net.stats.Dropped++
+			}
+			if c.nInts > 0 {
+				for p, h := range c.outHas {
+					if h == 0 {
+						continue
+					}
+					any = true
+					net.record(intMsgBytes, ports[p])
 				}
 			}
 		}
 	}
 	if any {
 		net.stats.RoundsActive++
+	}
+}
+
+// record accounts one staged message of sz bytes headed for node to.
+func (net *Network) record(sz, to int) {
+	net.stats.Messages++
+	net.stats.TotalBytes += sz
+	if sz > net.stats.MaxBytes {
+		net.stats.MaxBytes = sz
+		// The round counter has not been incremented for the closing
+		// round yet, so it is rounds+1 in 1-based reporting.
+		net.stats.MaxRound = net.rounds + 1
+	}
+	if net.haltSeg[to] != 0 {
+		net.stats.Dropped++
 	}
 }
 

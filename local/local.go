@@ -1,15 +1,15 @@
 // Package local implements the LOCAL model of distributed computing as a
-// runtime: one goroutine per node, synchronous rounds enforced by a sharded
-// barrier, per-round message delivery along edges, and automatic round
-// accounting.
+// runtime: synchronous rounds over a fixed graph, per-round message delivery
+// along edges, and automatic round accounting.
 //
 // An algorithm is a function executed by every node against a *Ctx. Nodes
 // know initially only their own ID, their degree and port numbering, and
 // the global parameters n and Δ (as is standard in the LOCAL model). A node
 // communicates by writing messages to ports and calling Next, which blocks
-// until every running node has finished the round; Next returns the
-// messages that arrived. A node halts by returning from the function; its
-// final state is whatever the algorithm recorded through SetOutput.
+// until every running node has finished the round; Next returns after the
+// messages that arrived are available. A node halts by returning from the
+// function; its final state is whatever the algorithm recorded through
+// SetOutput.
 //
 // Messages are unbounded (LOCAL model), so any t-round algorithm is
 // equivalent to a function of the t-hop neighborhood; GatherBall implements
@@ -17,35 +17,62 @@
 //
 // # Scheduler architecture
 //
-// The runtime is built to stay out of the way at large n:
+// The round engine is a batch-stepped executor. Nodes are partitioned into
+// k-node batches (contiguous ID ranges); each round, a fixed worker pool
+// pulls batches off a shared cursor and advances every live node in the
+// batch by one segment, then delivers the staged messages batch by batch.
+// Each batch owns its live list, sender list and dead-send log, so workers
+// never contend on shared state, and small rounds are run inline by the
+// coordinating goroutine without waking the pool at all — a round costs
+// O(workers) park/wake transitions instead of O(n), and with one worker
+// the engine is a plain loop with zero synchronization and zero
+// allocations per round.
 //
-//   - Port tables are built in O(n + Σ deg) by bucketing directed edges by
-//     their head, so even dense graphs (cliques) construct in linear time.
-//   - Nodes are partitioned into GOMAXPROCS shards. Each shard keeps its
-//     own arrival counter and sender list, so barrier traffic does not
-//     funnel through a single mutex; the round flips over a channel gate
-//     (close-to-broadcast), avoiding a condvar wake-up storm.
-//   - The runtime tracks the active set: only nodes that staged messages
-//     this round are visited during delivery, and each node clears its own
-//     inbox on barrier entry only when something was delivered to it. A
-//     round in which k nodes communicate costs O(k + messages), not O(n).
-//   - Halted nodes park permanently: their goroutines exit and they are
-//     never touched again by delivery or clearing.
-//   - Message delivery is sharded across workers when the round is large
-//     enough to pay for the fan-out.
+// Node programs come in two forms that share this engine:
 //
-// Determinism is unaffected by the sharding: message (receiver, port)
-// slots are fixed by the port numbering, per-node randomness is derived
-// from (seed, ID) alone, and round completion is a pure function of which
-// nodes arrived.
+//   - The blocking form (NodeFunc, Run): the node's segment boundary is
+//     Ctx.Next. Each node runs as a coroutine (iter.Pull) that the workers
+//     resume cooperatively; a resume is a direct coroutine switch and
+//     never goes through the Go scheduler. This is the fully general form:
+//     arbitrary control flow, state on the node's stack.
+//   - The stepped form (Stepped, RunStepped): the node program is given as
+//     explicit Init/Step segment functions with its cross-round state in a
+//     flat per-run array. No stacks, no coroutines, no switches — the
+//     executor calls segments directly, so a round touches only the
+//     compact state and message arrays. This is the engine's native form;
+//     the hot protocols (Linial, color reduction, MIS, list coloring, the
+//     E12 heartbeat) use it.
+//
+// Message delivery never touches per-node scheduling state: ports, reverse
+// ports, payloads, presence maps and receiver flags all live in flat
+// arrays indexed by directed-edge slot, so delivering a round of small
+// messages streams a few compact arrays instead of walking node objects.
+//
+// # Typed small-integer fast path
+//
+// Most protocols in this repository ship nothing but small integers.
+// SendInt, BroadcastInt and RecvInt stage those through flat per-network
+// int32 buffers with a byte presence map instead of boxing every payload
+// into an interface, making such rounds allocation-free. The two paths
+// compose: a protocol may send structs on some edges and ints on others,
+// Recv surfaces int-path messages to generic readers, and RecvInt falls
+// back to boxed ints, so mixed protocols and the SetIntFastPath(false)
+// ablation behave identically to the all-boxed runtime.
+//
+// Determinism is unaffected by batching, worker count and program form:
+// message (receiver, port) slots are fixed by the port numbering, per-node
+// randomness is derived from (seed, ID) alone, and round completion is a
+// pure function of which nodes halted. For a fixed seed, outputs, round
+// counts and phase breakdowns are byte-identical across worker and batch
+// configurations — and to the previous goroutine-per-node scheduler.
 package local
 
 import (
 	"fmt"
+	"iter"
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,8 +82,9 @@ import (
 // Message is any value sent along an edge in one round.
 type Message any
 
-// NodeFunc is the per-node program. It runs in its own goroutine; it must
-// communicate only through ctx and must return to halt.
+// NodeFunc is the per-node program in blocking form. It runs as a
+// coroutine resumed by the scheduler's worker pool; it must communicate
+// only through ctx and must return to halt.
 type NodeFunc func(ctx *Ctx)
 
 // Ctx is a node's interface to the network during a run.
@@ -65,22 +93,31 @@ type Ctx struct {
 	deg    int
 	n      int
 	maxDeg int
-	shard  int32
 	rng    *rand.Rand // lazily created; see Rand
 
-	net     *Network
-	in      []Message // in[p] = message received on port p this round (nil if none)
-	out     []Message // staged outgoing messages
-	output  any
-	input   any
-	sentAny bool // staged at least one Send/Broadcast this round (owner-only)
-	halted  bool // set by the owner before its final arrival
+	net *Network
 
-	// recvDirty is set by delivery workers when a message lands in the
-	// inbox; the owner clears the inbox (and the flag) on barrier entry.
-	// Atomic because two workers delivering from different senders may
-	// flag the same receiver concurrently.
-	recvDirty atomic.Bool
+	// Per-port message lanes: views into the network's flat per-run
+	// arrays (in/out boxed payloads, int32 payloads, byte presence maps).
+	in     []Message
+	out    []Message
+	inInt  []int32
+	outInt []int32
+	inHas  []byte
+	outHas []byte
+
+	output any
+	input  any
+
+	nBoxed  int32 // non-nil slots currently staged in out (owner-only)
+	nInts   int32 // slots currently staged in outHas (owner-only)
+	sentAny bool  // staged at least one Send/Broadcast this round (owner-only)
+
+	// resume runs a blocking node program until its next Ctx.Next (or
+	// return); yield is the suspension half, installed when the
+	// coroutine starts. Both are nil in stepped runs.
+	resume func() (struct{}, bool)
+	yield  func(struct{}) bool
 }
 
 // ID returns this node's unique identifier in [0, n).
@@ -111,31 +148,132 @@ func (c *Ctx) Rand() *rand.Rand {
 func (c *Ctx) Input() any { return c.input }
 
 // Send stages msg to be delivered to the neighbor on port p at the end of
-// the current round. A second Send on the same port overwrites the first
-// (one message per edge per round; messages are unbounded so algorithms
-// bundle what they need).
+// the current round. Each edge carries at most one message per round: a
+// later Send, SendInt, Broadcast or BroadcastInt on the same port
+// overwrites the earlier staging, whichever path it used (messages are
+// unbounded in the LOCAL model, so algorithms bundle what they need).
+// Sending nil un-stages the port.
 func (c *Ctx) Send(p int, msg Message) {
+	old := c.out[p]
 	c.out[p] = msg
+	if old == nil {
+		if msg != nil {
+			c.nBoxed++
+		}
+	} else if msg == nil {
+		c.nBoxed--
+	}
+	if c.outHas[p] != 0 {
+		c.outHas[p] = 0
+		c.nInts--
+	}
 	c.sentAny = true
 }
 
-// Broadcast stages msg on every port.
+// Broadcast stages msg on every port, overwriting anything staged earlier
+// this round (including int-path stagings). On a degree-0 node it is a
+// no-op: there are no edges to carry the message, and the node is not
+// registered as a sender.
 func (c *Ctx) Broadcast(msg Message) {
+	if len(c.out) == 0 {
+		return
+	}
 	for p := range c.out {
 		c.out[p] = msg
 	}
-	c.sentAny = len(c.out) > 0
+	if msg == nil {
+		c.nBoxed = 0
+	} else {
+		c.nBoxed = int32(len(c.out))
+	}
+	if c.nInts != 0 {
+		clear(c.outHas)
+		c.nInts = 0
+	}
+	c.sentAny = true
+}
+
+// SendInt stages the integer v on port p through the allocation-free int
+// path. Values outside the int32 range fall back transparently to the
+// boxed path. Like Send, a later staging on the same port overwrites an
+// earlier one regardless of path.
+func (c *Ctx) SendInt(p int, v int) {
+	if int64(int32(v)) != int64(v) || !c.net.intPath {
+		c.Send(p, v)
+		return
+	}
+	c.outInt[p] = int32(v)
+	if c.outHas[p] == 0 {
+		c.outHas[p] = 1
+		c.nInts++
+	}
+	if c.out[p] != nil {
+		c.out[p] = nil
+		c.nBoxed--
+	}
+	c.sentAny = true
+}
+
+// BroadcastInt stages the integer v on every port through the int path
+// (falling back to the boxed path for values outside int32). Like
+// Broadcast, it overwrites earlier stagings and is a no-op on degree-0
+// nodes.
+func (c *Ctx) BroadcastInt(v int) {
+	if int64(int32(v)) != int64(v) || !c.net.intPath {
+		c.Broadcast(v)
+		return
+	}
+	if len(c.outHas) == 0 {
+		return
+	}
+	w := int32(v)
+	for p := range c.outInt {
+		c.outInt[p] = w
+	}
+	for p := range c.outHas {
+		c.outHas[p] = 1
+	}
+	c.nInts = int32(len(c.outHas))
+	if c.nBoxed != 0 {
+		clear(c.out)
+		c.nBoxed = 0
+	}
+	c.sentAny = true
 }
 
 // Recv returns the message received on port p in the last completed round,
-// or nil.
-func (c *Ctx) Recv(p int) Message { return c.in[p] }
+// or nil. Messages sent through the int path are surfaced here as boxed
+// ints (allocation-free for values in [0, 255], the runtime's static
+// boxes), so generic readers interoperate with int-path senders.
+func (c *Ctx) Recv(p int) Message {
+	if c.inHas[p] != 0 {
+		return int(c.inInt[p])
+	}
+	return c.in[p]
+}
 
-// Next completes the current round: staged messages are delivered and the
-// node blocks until all running nodes reach the barrier. It returns after
-// incoming messages for the new round are available via Recv.
+// RecvInt reports the integer received on port p in the last completed
+// round. It reads the int fast path first and falls back to a boxed int
+// (from a Send, an out-of-range SendInt, or a network with the fast path
+// disabled), so int readers interoperate with boxed senders. ok is false
+// when no integer message arrived on p.
+func (c *Ctx) RecvInt(p int) (v int, ok bool) {
+	if c.inHas[p] != 0 {
+		return int(c.inInt[p]), true
+	}
+	if m, mok := c.in[p].(int); mok {
+		return m, true
+	}
+	return 0, false
+}
+
+// Next completes the current round: the node suspends, the scheduler
+// delivers every staged message, and the node resumes in the next round
+// with its incoming messages available via Recv/RecvInt. Only blocking
+// programs call Next; in the stepped form the segment boundary is the
+// Step function itself.
 func (c *Ctx) Next() {
-	c.net.barrier(c, false)
+	c.yield(struct{}{})
 }
 
 // SetOutput records the node's output (its color, mark, level, ...).
@@ -144,31 +282,33 @@ func (c *Ctx) SetOutput(v any) { c.output = v }
 // Output returns the value recorded by SetOutput.
 func (c *Ctx) Output() any { return c.output }
 
-// shard groups a subset of the nodes (v belongs to shard v mod nshards).
-// Each shard has its own arrival counter and sender list so that barrier
-// entry from different shards touches different cache lines.
-type shard struct {
-	pending atomic.Int64 // arrivals still missing from this shard this round
-	running int64        // non-halted nodes in this shard (coordinator-owned)
-	halts   atomic.Int64 // halts observed this round, folded into running
+// batch is the scheduler's unit of work: a contiguous ID range of nodes
+// stepped (and delivered) together. Exactly one worker touches a batch per
+// phase, so its lists need no locks; padding keeps batches off each
+// other's cache lines.
+type batch struct {
+	live    []int32 // non-halted members, ascending ID
+	senders []int32 // members that staged sends this round
+	halts   int     // nodes that halted during the last step sweep
 
-	sendMu  sync.Mutex
-	senders []*Ctx // shard members that staged sends this round
+	dead []DeadSend // sends to halted receivers found while delivering
 
-	dead []DeadSend // sends to halted receivers found while delivering this shard
-
-	_ [64]byte // pad to keep shards off each other's cache lines
+	_ [64]byte
 }
 
 // DeadSend records a message that was staged for a neighbor that had
-// already halted; the message is dropped. Such sends usually indicate a
-// protocol bug in the node program (the sender believes the neighbor is
-// still participating). Enable tracking with Network.TrackDeadSends.
+// already halted; the message is dropped. A send with Round == HaltRound
+// is unavoidable in the LOCAL model: the receiver halted in the very sweep
+// the message was staged, before any signal could reach the sender. A send
+// with Round > HaltRound means the sender kept talking to a node it could
+// already have learned was gone — a protocol bug (see LateDeadSends).
+// Enable tracking with Network.TrackDeadSends.
 type DeadSend struct {
-	From  int // sender node ID
-	Port  int // sender's port the message was staged on
-	To    int // halted receiver node ID
-	Round int // 1-based round in which the send was staged
+	From      int // sender node ID
+	Port      int // sender's port the message was staged on
+	To        int // halted receiver node ID
+	Round     int // 1-based round in which the send was staged
+	HaltRound int // 1-based round during whose sweep the receiver halted
 }
 
 func (d DeadSend) String() string {
@@ -183,24 +323,62 @@ type RunStats struct {
 	RoundsPerSec float64 // 0 when the run had no rounds
 }
 
-// Network runs NodeFuncs over a graph.
+// Network runs node programs over a graph.
 type Network struct {
 	g     *graph.G
 	ports [][]int   // ports[v][p] = neighbor on port p (== g.Neighbors(v))
 	rev   [][]int32 // rev[v][p] = port index of v on ports[v][p]'s side
 	seed  int64
 
-	rounds   int
-	lastRun  RunStats
-	shards   []shard
-	nshards  int
-	ctxs     []Ctx
-	gate     atomic.Pointer[chan struct{}] // current round's release gate
-	shardsIn atomic.Int64                  // shards whose pending hit zero this round
+	// Flat directed-edge tables: slot off[v]+p is port p of node v.
+	// Delivery works entirely on these (plus the per-run lanes below), so
+	// it streams compact arrays instead of walking node objects.
+	off       []int   // off[v] = first slot of v; len n+1
+	portsFlat []int32 // portsFlat[off[v]+p] = neighbor
+	revFlat   []int32 // revFlat[off[v]+p] = reverse port
+
+	// Per-run message lanes and receiver flags, indexed by slot (lanes)
+	// or node (flags). recvAny/recvInt are set by delivery workers and
+	// cleared by the stepping worker that owns the node; they are atomic
+	// because two workers delivering from different senders may flag the
+	// same receiver.
+	inBoxed, outBoxed []Message
+	inInt, outInt     []int32
+	inHas, outHas     []byte
+	recvAny, recvInt  []atomic.Bool
+	haltSeg           []int32 // 0 while running; else the round of the sweep v halted in
+
+	rounds  int
+	lastRun RunStats
+	ctxs    []Ctx
+
+	batches   []batch
+	batchSize int             // forced batch size; 0 = auto
+	nworkers  int             // worker pool size (stepping and delivery)
+	cursor    atomic.Int64    // next batch index during a parallel phase
+	segment   func(*Ctx) bool // current step phase's segment function
 
 	stats     *MessageStats // non-nil when EnableMessageStats was called
 	trackDead bool          // record sends to halted neighbors
+	strict    bool          // panic after a Run that recorded dead sends
+	intPath   bool          // int fast path enabled (see SetIntFastPath)
 }
+
+// strictDead is the package default installed on new networks; see
+// SetStrictDeadSends.
+var strictDead atomic.Bool
+
+// SetStrictDeadSends installs a package-wide default for networks created
+// afterwards: dead-send tracking is enabled and any run that records a
+// late dead send (see LateDeadSends) panics with the report. Intended for
+// experiment harnesses and CI (`benchsuite -strict`), where a message
+// staged for a neighbor the sender could have known was halted is a
+// protocol regression that must fail loudly instead of being silently
+// dropped in user runs.
+func SetStrictDeadSends(on bool) { strictDead.Store(on) }
+
+// StrictDeadSends reports the current package default.
+func StrictDeadSends() bool { return strictDead.Load() }
 
 // NewNetwork prepares a network over g with the given randomness seed.
 // Construction is O(n + Σ deg): directed edges are bucketed by their head
@@ -208,7 +386,11 @@ type Network struct {
 // a clique builds in time linear in its edge count.
 func NewNetwork(g *graph.G, seed int64) *Network {
 	n := g.N()
-	net := &Network{g: g, seed: seed}
+	net := &Network{g: g, seed: seed, intPath: true}
+	if strictDead.Load() {
+		net.trackDead = true
+		net.strict = true
+	}
 	net.ports = make([][]int, n)
 	sum := 0
 	for v := 0; v < n; v++ {
@@ -221,10 +403,15 @@ func NewNetwork(g *graph.G, seed int64) *Network {
 	for v := 0; v < n; v++ {
 		off[v+1] = off[v] + len(net.ports[v])
 	}
-	revFlat := make([]int32, sum)
+	net.off = off
+	net.portsFlat = make([]int32, sum)
+	net.revFlat = make([]int32, sum)
 	net.rev = make([][]int32, n)
 	for v := 0; v < n; v++ {
-		net.rev[v] = revFlat[off[v]:off[v+1]:off[v+1]]
+		net.rev[v] = net.revFlat[off[v]:off[v+1]:off[v+1]]
+		for p, u := range net.ports[v] {
+			net.portsFlat[off[v]+p] = int32(u)
+		}
 	}
 
 	// Bucket every directed edge (v, p) under its head u = ports[v][p].
@@ -258,10 +445,9 @@ func NewNetwork(g *graph.G, seed int64) *Network {
 	return net
 }
 
-// setShards reconfigures the scheduler to use k shards (and up to k
-// delivery workers). NewNetwork picks GOMAXPROCS; tests and benchmarks
-// use this to exercise or pin the sharded paths. Must not be called
-// during a Run.
+// setShards reconfigures the scheduler to use k workers for stepping and
+// delivery. Kept under its historical name for the scheduler tests; the
+// exported form is SetWorkers.
 func (net *Network) setShards(k int) {
 	if n := net.g.N(); k > n {
 		k = n
@@ -269,14 +455,41 @@ func (net *Network) setShards(k int) {
 	if k < 1 {
 		k = 1
 	}
-	net.nshards = k
-	net.shards = make([]shard, k)
+	net.nworkers = k
 }
 
-// Rounds returns the number of synchronous rounds of the last Run.
+// SetWorkers pins the scheduler's worker-pool size for subsequent runs
+// (NewNetwork defaults to GOMAXPROCS). Worker count is a scheduling
+// detail: outputs, rounds and stats are identical for every value. Must
+// not be called during a run.
+func (net *Network) SetWorkers(k int) { net.setShards(k) }
+
+// setBatch forces the node-batch size for subsequent runs (0 restores the
+// automatic size). Batching is a scheduling detail with no semantic
+// effect; tests use this to exercise batch boundaries.
+func (net *Network) setBatch(k int) {
+	if k < 0 {
+		k = 0
+	}
+	net.batchSize = k
+}
+
+// SetIntFastPath toggles the typed small-integer delivery path (on by
+// default). When off, SendInt/BroadcastInt route through the boxed path;
+// RecvInt still reads boxed ints, so protocols behave identically — this
+// is the ablation hook the int-vs-boxed golden tests pin against.
+func (net *Network) SetIntFastPath(on bool) { net.intPath = on }
+
+// Reseed changes the seed that derives per-node randomness (and nothing
+// else) for subsequent runs. It makes one network reusable across the
+// phases of a composite algorithm — each phase reseeds instead of paying
+// a full NewNetwork rebuild. Must not be called during a run.
+func (net *Network) Reseed(seed int64) { net.seed = seed }
+
+// Rounds returns the number of synchronous rounds of the last run.
 func (net *Network) Rounds() int { return net.rounds }
 
-// LastRunStats returns throughput statistics for the last completed Run.
+// LastRunStats returns throughput statistics for the last completed run.
 func (net *Network) LastRunStats() RunStats { return net.lastRun }
 
 // Graph returns the underlying graph.
@@ -288,13 +501,13 @@ func (net *Network) Graph() *graph.G { return net.g }
 // DeadSends after the run.
 func (net *Network) TrackDeadSends(on bool) { net.trackDead = on }
 
-// DeadSends returns the dead sends recorded during the last Run (tracking
-// must be enabled before the Run starts), sorted by (round, sender, port).
+// DeadSends returns the dead sends recorded during the last run (tracking
+// must be enabled before the run starts), sorted by (round, sender, port).
 // It returns nil when tracking is off or nothing was dropped.
 func (net *Network) DeadSends() []DeadSend {
 	var all []DeadSend
-	for i := range net.shards {
-		all = append(all, net.shards[i].dead...)
+	for i := range net.batches {
+		all = append(all, net.batches[i].dead...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -309,8 +522,24 @@ func (net *Network) DeadSends() []DeadSend {
 	return all
 }
 
-// Run executes f on every node until all halt and returns each node's
-// output. The number of rounds used is available via Rounds.
+// LateDeadSends returns only the dead sends staged after the sweep the
+// receiver halted in — the ones a well-behaved protocol can avoid (a
+// halting node can announce itself in its final staged messages, and its
+// neighbors read that announcement before staging the following round).
+// These are the sends strict mode treats as protocol regressions.
+func (net *Network) LateDeadSends() []DeadSend {
+	var late []DeadSend
+	for _, d := range net.DeadSends() {
+		if d.Round > d.HaltRound {
+			late = append(late, d)
+		}
+	}
+	return late
+}
+
+// Run executes the blocking program f on every node until all halt and
+// returns each node's output. The number of rounds used is available via
+// Rounds.
 func (net *Network) Run(f NodeFunc) []any {
 	return net.RunWithInput(f, nil)
 }
@@ -319,69 +548,224 @@ func (net *Network) Run(f NodeFunc) []any {
 // node v via ctx.Input). inputs may be nil; a non-nil inputs must have
 // exactly one entry per node.
 func (net *Network) RunWithInput(f NodeFunc, inputs []any) []any {
+	net.setup(inputs)
+	for i := range net.ctxs {
+		net.ctxs[i].startCoro(f)
+	}
+	step := func(c *Ctx) bool {
+		_, ok := c.resume()
+		return ok
+	}
+	return net.runRounds(step, step)
+}
+
+// startCoro installs a blocking node's coroutine: the program runs inside
+// an iter.Pull sequence whose yield is Ctx.Next's suspension point, so
+// resuming it is a direct coroutine switch that never touches the Go
+// scheduler.
+func (c *Ctx) startCoro(f NodeFunc) {
+	next, _ := iter.Pull(func(yield func(struct{}) bool) {
+		c.yield = yield
+		f(c)
+	})
+	c.resume = next
+}
+
+// Stepped is a node program in the executor's native segmented form, the
+// exact unrolling of a blocking NodeFunc at its Next boundaries:
+//
+//   - Init is the code before the first Next. It runs once per node, may
+//     stage messages, and returns false to halt without entering round 1.
+//   - Step is the code between two Nexts: it reads the messages of the
+//     round that just completed, stages the next round's, and returns
+//     false to halt.
+//
+// Cross-round node state lives in S; the executor keeps all n states in
+// one flat array, so stepped programs run without per-node stacks or
+// coroutines — segments are plain calls on the worker's own stack. Use
+// this form for hot protocols; semantics (rounds, delivery, halting,
+// outputs, determinism) are identical to the blocking form.
+type Stepped[S any] struct {
+	Init func(ctx *Ctx, s *S) bool
+	Step func(ctx *Ctx, s *S) bool
+}
+
+// RunStepped executes a stepped program on every node until all halt and
+// returns each node's output, exactly like Run does for blocking programs.
+func RunStepped[S any](net *Network, p Stepped[S]) []any {
+	return RunSteppedWithInput(net, p, nil)
+}
+
+// RunSteppedWithInput is RunStepped with a per-node input value; inputs
+// follows the RunWithInput contract.
+func RunSteppedWithInput[S any](net *Network, p Stepped[S], inputs []any) []any {
+	net.setup(inputs)
+	states := make([]S, len(net.ctxs))
+	init := func(c *Ctx) bool { return p.Init(c, &states[c.id]) }
+	step := func(c *Ctx) bool { return p.Step(c, &states[c.id]) }
+	return net.runRounds(init, step)
+}
+
+// setup prepares the per-run state: contexts, flat message lanes,
+// receiver flags and batches.
+func (net *Network) setup(inputs []any) {
 	n := net.g.N()
 	if inputs != nil && len(inputs) != n {
 		panic(fmt.Sprintf("local: RunWithInput: len(inputs) = %d, want %d (one input per node)", len(inputs), n))
 	}
 	maxDeg := net.g.MaxDegree()
 	net.rounds = 0
-	start := time.Now()
 
-	// Flat allocations: one Ctx array and one Message array backing every
-	// inbox and outbox, instead of 3n small allocations.
+	total := net.off[n]
 	net.ctxs = make([]Ctx, n)
-	deg := make([]int, n+1)
-	for v := 0; v < n; v++ {
-		deg[v+1] = deg[v] + net.g.Deg(v)
-	}
-	boxes := make([]Message, 2*deg[n])
-	inFlat, outFlat := boxes[:deg[n]], boxes[deg[n]:]
+	boxes := make([]Message, 2*total)
+	ints := make([]int32, 2*total)
+	has := make([]byte, 2*total)
+	net.inBoxed, net.outBoxed = boxes[:total:total], boxes[total:]
+	net.inInt, net.outInt = ints[:total:total], ints[total:]
+	net.inHas, net.outHas = has[:total:total], has[total:]
+	net.recvAny = make([]atomic.Bool, n)
+	net.recvInt = make([]atomic.Bool, n)
+	net.haltSeg = make([]int32, n)
 	for v := 0; v < n; v++ {
 		c := &net.ctxs[v]
 		c.id = v
-		c.deg = deg[v+1] - deg[v]
 		c.n = n
 		c.maxDeg = maxDeg
-		c.shard = int32(v % net.nshards)
 		c.net = net
-		c.in = inFlat[deg[v]:deg[v+1]:deg[v+1]]
-		c.out = outFlat[deg[v]:deg[v+1]:deg[v+1]]
+		lo, hi := net.off[v], net.off[v+1]
+		c.deg = hi - lo
+		c.in = net.inBoxed[lo:hi:hi]
+		c.out = net.outBoxed[lo:hi:hi]
+		c.inInt = net.inInt[lo:hi:hi]
+		c.outInt = net.outInt[lo:hi:hi]
+		c.inHas = net.inHas[lo:hi:hi]
+		c.outHas = net.outHas[lo:hi:hi]
 		if inputs != nil {
 			c.input = inputs[v]
 		}
 	}
-	for i := range net.shards {
-		sh := &net.shards[i]
-		sh.running = 0
-		sh.halts.Store(0)
-		sh.senders = sh.senders[:0]
-		sh.dead = sh.dead[:0]
+
+	bs := net.batchSize
+	if bs <= 0 {
+		bs = defaultBatchSize(n, net.nworkers)
 	}
-	for v := 0; v < n; v++ {
-		net.shards[v%net.nshards].running++
+	nb := (n + bs - 1) / bs
+	if nb == 0 {
+		nb = 1
 	}
-	active := int64(0)
-	for i := range net.shards {
-		sh := &net.shards[i]
-		sh.pending.Store(sh.running)
-		if sh.running > 0 {
-			active++
+	net.batches = make([]batch, nb)
+	for i := range net.batches {
+		lo := i * bs
+		hi := min(lo+bs, n)
+		b := &net.batches[i]
+		b.live = make([]int32, hi-lo)
+		for v := lo; v < hi; v++ {
+			b.live[v-lo] = int32(v)
 		}
 	}
-	net.shardsIn.Store(active)
-	gate := make(chan struct{})
-	net.gate.Store(&gate)
+}
 
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(c *Ctx) {
-			defer wg.Done()
-			f(c)
-			net.barrier(c, true)
-		}(&net.ctxs[v])
+// defaultBatchSize balances per-batch bookkeeping against load-balancing
+// granularity: a handful of batches per worker, clamped so tiny networks
+// still form one batch and huge ones keep contiguous cache-friendly runs.
+func defaultBatchSize(n, workers int) int {
+	bs := n / (workers * 8)
+	if bs < 64 {
+		bs = 64
 	}
-	wg.Wait()
+	if bs > 2048 {
+		bs = 2048
+	}
+	return bs
+}
+
+// parallelWork is the phase size below which the coordinator runs the
+// phase inline instead of waking the worker pool.
+const parallelWork = 256
+
+// Phase identifiers dispatched to workers.
+const (
+	phaseStep = iota
+	phaseDeliver
+)
+
+// runRounds drives the shared round engine: init advances every node
+// through segment 0, then each iteration folds halts, delivers the staged
+// messages and advances every live node by one segment. Matching the
+// historical semantics, the final all-halt sweep is not counted as a round
+// and its staged messages are dropped.
+func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
+	n := net.g.N()
+	start := time.Now()
+
+	// Worker pool: W-1 helpers plus the coordinating goroutine. Helpers
+	// park on the command channel between phases, so a phase costs at
+	// most O(workers) park/wake transitions — and none at all when it
+	// runs inline below the parallelWork threshold or with one worker.
+	w := min(net.nworkers, len(net.batches))
+	var cmd chan int
+	var done chan struct{}
+	if w > 1 {
+		cmd = make(chan int)
+		done = make(chan struct{})
+		for i := 1; i < w; i++ {
+			go func() {
+				for ph := range cmd {
+					net.workPhase(ph)
+					done <- struct{}{}
+				}
+			}()
+		}
+	}
+	// phase runs one engine phase; the channel sends publish net.segment
+	// and the cursor reset to the helpers (happens-before), and the done
+	// receives collect their writes back.
+	phase := func(ph, load int) {
+		if w <= 1 || load < parallelWork {
+			for i := range net.batches {
+				net.doBatch(ph, &net.batches[i])
+			}
+			return
+		}
+		net.cursor.Store(0)
+		for i := 1; i < w; i++ {
+			cmd <- ph
+		}
+		net.workPhase(ph)
+		for i := 1; i < w; i++ {
+			<-done
+		}
+	}
+
+	running := n
+	net.segment = init
+	phase(phaseStep, n)
+	for {
+		live, senders := 0, 0
+		for i := range net.batches {
+			b := &net.batches[i]
+			running -= b.halts
+			b.halts = 0
+			live += len(b.live)
+			senders += len(b.senders)
+		}
+		if running == 0 {
+			break
+		}
+		if net.stats != nil {
+			net.recordMessages()
+		}
+		if senders > 0 {
+			phase(phaseDeliver, senders)
+		}
+		net.rounds++
+		net.segment = step
+		phase(phaseStep, live)
+	}
+	if w > 1 {
+		close(cmd)
+	}
 
 	outs := make([]any, n)
 	for v := 0; v < n; v++ {
@@ -392,155 +776,132 @@ func (net *Network) RunWithInput(f NodeFunc, inputs []any) []any {
 	if net.rounds > 0 && wall > 0 {
 		net.lastRun.RoundsPerSec = float64(net.rounds) / wall.Seconds()
 	}
+	if net.strict {
+		if ds := net.LateDeadSends(); len(ds) > 0 {
+			panic(fmt.Sprintf("local: strict mode: %d late dead send(s) recorded, first: %s", len(ds), ds[0]))
+		}
+	}
 	return outs
 }
 
-// barrier is called by node goroutines at the end of each round (halt=false)
-// or when the node function returns (halt=true). The last arriver across
-// all shards becomes the round coordinator: it performs delivery, resets
-// the counters and opens the gate.
-func (net *Network) barrier(c *Ctx, halt bool) {
-	// The owner clears its own inbox: the previous round's messages have
-	// been consumed by the time the node re-enters the barrier. Nodes that
-	// received nothing skip the sweep entirely.
-	if c.recvDirty.Load() {
-		for p := range c.in {
-			c.in[p] = nil
+// workPhase pulls batches off the shared cursor until the phase is drained.
+func (net *Network) workPhase(ph int) {
+	nb := int64(len(net.batches))
+	for {
+		i := net.cursor.Add(1) - 1
+		if i >= nb {
+			return
 		}
-		c.recvDirty.Store(false)
+		net.doBatch(ph, &net.batches[i])
 	}
-	sh := &net.shards[c.shard]
-	if c.sentAny {
-		sh.sendMu.Lock()
-		sh.senders = append(sh.senders, c)
-		sh.sendMu.Unlock()
-	}
-	if halt {
-		c.halted = true
-		sh.halts.Add(1)
-		net.arrive(sh)
-		return
-	}
-	// Read the gate before announcing arrival: once the final arrival is
-	// in, the coordinator may swap gates at any moment.
-	gate := *net.gate.Load()
-	if net.arrive(sh) {
-		return
-	}
-	<-gate
 }
 
-// arrive records one barrier arrival. It returns true when the caller was
-// the round coordinator (and the round has been completed), false when the
-// caller should wait on the gate it loaded before arriving.
-func (net *Network) arrive(sh *shard) bool {
-	if sh.pending.Add(-1) != 0 {
-		return false
+func (net *Network) doBatch(ph int, b *batch) {
+	if ph == phaseStep {
+		net.stepBatch(net.segment, b)
+	} else {
+		net.deliverBatch(b)
 	}
-	if net.shardsIn.Add(-1) != 0 {
-		return false
-	}
-	net.completeRound()
-	return true
 }
 
-// completeRound runs on the coordinator once every running node has
-// arrived: it folds halts into the shard populations, delivers the staged
-// messages of the active senders, advances the round and opens the gate.
-// No locks are needed: all arrivals happened-before the final counter
-// decrement, and waiters resume only after the gate is closed.
-func (net *Network) completeRound() {
-	running := int64(0)
-	for i := range net.shards {
-		sh := &net.shards[i]
-		sh.running -= sh.halts.Swap(0)
-		running += sh.running
-	}
-	if running == 0 {
-		// Every node has halted: nothing to deliver and nobody to wake
-		// (matching the original semantics, the final all-halt round is
-		// not counted and its staged messages are dropped).
-		return
-	}
-	if net.stats != nil {
-		net.recordMessages()
-	}
-	net.deliver()
-	net.rounds++
-	active := int64(0)
-	for i := range net.shards {
-		sh := &net.shards[i]
-		sh.pending.Store(sh.running)
-		if sh.running > 0 {
-			active++
+// stepBatch advances every live node in the batch by one segment, clears
+// the inboxes the node just consumed, collects senders, and compacts
+// halted nodes out of the live list.
+func (net *Network) stepBatch(fn func(*Ctx) bool, b *batch) {
+	kept := b.live[:0]
+	for _, id := range b.live {
+		c := &net.ctxs[id]
+		if fn(c) {
+			kept = append(kept, id)
+		} else {
+			net.haltSeg[id] = int32(net.rounds) + 1
+			b.halts++
+		}
+		if net.recvAny[id].Load() {
+			clear(c.in)
+			net.recvAny[id].Store(false)
+		}
+		if net.recvInt[id].Load() {
+			clearBytes(c.inHas)
+			net.recvInt[id].Store(false)
+		}
+		if c.sentAny {
+			b.senders = append(b.senders, id)
 		}
 	}
-	net.shardsIn.Store(active)
-	next := make(chan struct{})
-	old := net.gate.Swap(&next)
-	close(*old)
+	b.live = kept
 }
 
-// deliver moves every staged message of this round's senders into the
-// receivers' inboxes, fanning out across workers when the round is large
-// enough to amortize goroutine startup.
-func (net *Network) deliver() {
-	workers := net.nshards
-	if workers > 1 {
-		total := 0
-		for i := range net.shards {
-			total += len(net.shards[i].senders)
-		}
-		if total < 256 {
-			workers = 1
-		}
-	}
-	if workers <= 1 {
-		for i := range net.shards {
-			net.deliverShard(&net.shards[i])
+// clearBytes zeroes a byte slice, avoiding the memclr call overhead for
+// the tiny presence maps of low-degree nodes.
+func clearBytes(h []byte) {
+	if len(h) <= 16 {
+		for i := range h {
+			h[i] = 0
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < net.nshards; i += workers {
-				net.deliverShard(&net.shards[i])
-			}
-		}(w)
-	}
-	wg.Wait()
+	clear(h)
 }
 
-// deliverShard delivers the staged messages of one shard's senders. Each
-// (receiver, port) slot has a unique sender, so workers on different
-// shards never write the same slot; the receiver's dirty flag is atomic
-// because distinct senders may share a receiver.
-func (net *Network) deliverShard(sh *shard) {
-	for _, c := range sh.senders {
-		ports, rev := net.ports[c.id], net.rev[c.id]
-		for p, msg := range c.out {
-			if msg == nil {
-				continue
-			}
-			c.out[p] = nil
-			uc := &net.ctxs[ports[p]]
-			if uc.halted {
-				if net.trackDead {
-					sh.dead = append(sh.dead, DeadSend{From: c.id, Port: p, To: uc.id, Round: net.rounds + 1})
+// deliverBatch moves every staged message of the batch's senders into the
+// receivers' inboxes, working entirely on the flat edge tables — delivery
+// never touches receiver contexts or scheduling state. Each (receiver,
+// port) slot has a unique sender, so workers on different batches never
+// write the same slot; the receiver flags are atomic because distinct
+// senders may share a receiver.
+func (net *Network) deliverBatch(b *batch) {
+	for _, id := range b.senders {
+		c := &net.ctxs[id]
+		base := net.off[id]
+		if c.nBoxed > 0 {
+			out := c.out
+			for p, msg := range out {
+				if msg == nil {
+					continue
 				}
-				continue
+				out[p] = nil
+				u := net.portsFlat[base+p]
+				if net.haltSeg[u] != 0 {
+					if net.trackDead {
+						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: int(u), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
+					}
+					continue
+				}
+				slot := net.off[u] + int(net.revFlat[base+p])
+				net.inBoxed[slot] = msg
+				if !net.recvAny[u].Load() {
+					net.recvAny[u].Store(true)
+				}
 			}
-			uc.in[rev[p]] = msg
-			if !uc.recvDirty.Load() {
-				uc.recvDirty.Store(true)
+			c.nBoxed = 0
+		}
+		if c.nInts > 0 {
+			oh := c.outHas
+			for p, h := range oh {
+				if h == 0 {
+					continue
+				}
+				oh[p] = 0
+				u := net.portsFlat[base+p]
+				if net.haltSeg[u] != 0 {
+					if net.trackDead {
+						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: int(u), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
+					}
+					continue
+				}
+				slot := net.off[u] + int(net.revFlat[base+p])
+				net.inInt[slot] = c.outInt[p]
+				net.inHas[slot] = 1
+				if !net.recvInt[u].Load() {
+					net.recvInt[u].Store(true)
+				}
 			}
+			c.nInts = 0
 		}
 		c.sentAny = false
 	}
-	sh.senders = sh.senders[:0]
+	b.senders = b.senders[:0]
 }
 
 // Accountant aggregates rounds across the phases of a composite algorithm.

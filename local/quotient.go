@@ -1,0 +1,85 @@
+package local
+
+import (
+	"fmt"
+
+	"deltacolor/graph"
+)
+
+// QuotientNetwork builds the network of the quotient graph of parent under
+// groups — one quotient node per group, adjacent when two groups share a
+// member or parent has an edge between them — directly from the parent's
+// port tables (its adjacency lists).
+//
+// The DCC and ruling-set phases of the Δ-coloring algorithms construct
+// such virtual networks once per phase. graph.Quotient + NewNetwork costs
+// O(m) for the full-edge scan plus a per-edge HasEdge dedupe that is
+// quadratic in quotient degree; this construction touches only the
+// groups' own edges and dedupes with an O(q) stamp array, so the whole
+// build is linear in Σ_groups (|group| + deg(group)). The quotient's edge
+// set is identical to graph.Quotient's (adjacency order may differ, which
+// protocols must not — and do not — depend on, exactly as with the map
+// iteration order of graph.Quotient).
+func QuotientNetwork(parent *graph.G, groups [][]int, seed int64) *Network {
+	q := len(groups)
+	n := parent.N()
+
+	// owner lists per member node: the common case is a single owner,
+	// kept in a flat array; shared members spill into a small map.
+	first := make([]int32, n)
+	for i := range first {
+		first[i] = -1
+	}
+	var extra map[int][]int32
+	for gi, grp := range groups {
+		for _, v := range grp {
+			if v < 0 || v >= n {
+				panic(fmt.Sprintf("local: QuotientNetwork: group %d contains node %d outside [0,%d)", gi, v, n))
+			}
+			if first[v] < 0 {
+				first[v] = int32(gi)
+			} else {
+				if extra == nil {
+					extra = map[int][]int32{}
+				}
+				extra[v] = append(extra[v], int32(gi))
+			}
+		}
+	}
+
+	adj := make([][]int, q)
+	mark := make([]int, q) // mark[o] = last group that linked to o
+	for i := range mark {
+		mark[i] = -1
+	}
+	link := func(gi, o int) {
+		if o != gi && mark[o] != gi {
+			mark[o] = gi
+			adj[gi] = append(adj[gi], o)
+		}
+	}
+	for gi, grp := range groups {
+		for _, v := range grp {
+			// Groups sharing v are adjacent; so are the owner groups of
+			// every parent-neighbor of v.
+			link(gi, int(first[v]))
+			for _, o := range extra[v] {
+				link(gi, int(o))
+			}
+			for _, u := range parent.Neighbors(v) {
+				if o := first[u]; o >= 0 {
+					link(gi, int(o))
+					for _, oo := range extra[u] {
+						link(gi, int(oo))
+					}
+				}
+			}
+		}
+	}
+
+	qg, err := graph.FromAdjacency(adj)
+	if err != nil {
+		panic(fmt.Sprintf("local: QuotientNetwork: %v", err))
+	}
+	return NewNetwork(qg, seed)
+}

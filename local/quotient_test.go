@@ -1,0 +1,84 @@
+package local
+
+import (
+	"sort"
+	"testing"
+
+	"deltacolor/graph"
+)
+
+// quotientGroups builds an assortment of groups over a random graph:
+// disjoint blobs, a singleton, and two overlapping groups (sharing a
+// node), covering every adjacency rule of the quotient construction.
+func quotientGroups(g *graph.G) [][]int {
+	n := g.N()
+	groups := [][]int{
+		{0, 1, 2},
+		{5},
+		{n / 2, n/2 + 1},
+		{n/2 + 1, n/2 + 2}, // overlaps the previous group
+	}
+	for i := 0; i+10 < n; i += 17 {
+		groups = append(groups, []int{i + 7, i + 8})
+	}
+	return groups
+}
+
+// TestQuotientNetworkMatchesGraphQuotient checks that the port-table
+// construction produces exactly the edge set of graph.Quotient.
+func TestQuotientNetworkMatchesGraphQuotient(t *testing.T) {
+	g := randomGraph(120, 0.05, 11)
+	groups := quotientGroups(g)
+
+	want := graph.Quotient(g, groups)
+	got := QuotientNetwork(g, groups, 3).Graph()
+
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("quotient shape: got n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for v := 0; v < want.N(); v++ {
+		a := append([]int(nil), want.Neighbors(v)...)
+		b := append([]int(nil), got.Neighbors(v)...)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: degree %d vs %d", v, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: neighbors %v vs %v", v, b, a)
+			}
+		}
+	}
+}
+
+// TestQuotientNetworkRunsProtocols runs a port-order-independent protocol
+// on both constructions and requires identical outputs: the quotient
+// network is a drop-in replacement for NewNetwork(graph.Quotient(...)).
+func TestQuotientNetworkRunsProtocols(t *testing.T) {
+	g := randomGraph(90, 0.06, 13)
+	groups := quotientGroups(g)
+
+	// Aggregate protocol: sum of neighbor IDs over two rounds (invariant
+	// under port reordering).
+	proto := func(ctx *Ctx) {
+		sum := 0
+		for r := 0; r < 2; r++ {
+			ctx.BroadcastInt(ctx.ID() + sum)
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if m, ok := ctx.RecvInt(p); ok {
+					sum += m
+				}
+			}
+		}
+		ctx.SetOutput(sum)
+	}
+	want := NewNetwork(graph.Quotient(g, groups), 3).Run(proto)
+	got := QuotientNetwork(g, groups, 3).Run(proto)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("quotient node %d: %v vs %v", v, got[v], want[v])
+		}
+	}
+}
