@@ -39,8 +39,9 @@ func BenchmarkE7Adversarial(b *testing.B)   { runExperiment(b, exp.E7Adversarial
 func BenchmarkE8NetworkDecomposition(b *testing.B) {
 	runExperiment(b, exp.E8NetDec)
 }
-func BenchmarkE9Structure(b *testing.B)  { runExperiment(b, exp.E9Structure) }
-func BenchmarkE10Ablations(b *testing.B) { runExperiment(b, exp.E10Ablations) }
+func BenchmarkE9Structure(b *testing.B)   { runExperiment(b, exp.E9Structure) }
+func BenchmarkE10Ablations(b *testing.B)  { runExperiment(b, exp.E10Ablations) }
+func BenchmarkE13RepairTail(b *testing.B) { runExperiment(b, exp.E13RepairTail) }
 
 // Micro-benchmarks of the public API on a fixed workload, for profiling the
 // algorithms themselves rather than the experiment sweeps.

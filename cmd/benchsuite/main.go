@@ -1,4 +1,4 @@
-// Command benchsuite runs the experiment suite E1–E12 (DESIGN.md §4) at
+// Command benchsuite runs the experiment suite E1–E13 (DESIGN.md §4) at
 // full scale and prints every table as markdown — the exact content
 // EXPERIMENTS.md records. Use -quick for a smoke-scale pass and -only to
 // select individual experiments. -strict turns any message staged for a
@@ -62,6 +62,7 @@ func main() {
 		{"E9", exp.E9Structure},
 		{"E10", exp.E10Ablations},
 		{"E11", exp.E11Congest},
+		{"E13", exp.E13RepairTail},
 	}
 
 	cfg := exp.Config{Quick: *quick, Seed: *seed, Strict: *strict}

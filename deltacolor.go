@@ -96,6 +96,16 @@ type Result struct {
 	Phases    []PhaseStat
 	Repairs   int // nodes completed by the Brooks safety net
 	Algorithm Algorithm
+
+	// RepairBatches is the number of batches the Brooks repair engine ran
+	// (repairs with pairwise-independent balls share a batch and are
+	// charged max rounds, not the sum; see internal/brooks.RepairHoles).
+	// Zero when no repairs were needed.
+	RepairBatches int
+	// RepairBatchRounds is the per-batch charged rounds histogram
+	// (scheduling + execution per batch), in execution order across every
+	// engine invocation of the run. len(RepairBatchRounds) == RepairBatches.
+	RepairBatchRounds []int
 }
 
 // Errors re-exported for matching with errors.Is.
@@ -135,7 +145,9 @@ func (opts Options) validate() error {
 		return &OptionError{Field: "Backoff", Value: opts.Backoff, Reason: "marking backoff must be >= 0 (0 = auto)"}
 	}
 	if opts.P < 0 || opts.P > 1 || math.IsNaN(opts.P) {
-		return &OptionError{Field: "P", Value: opts.P, Reason: "selection probability must lie in (0, 1] (0 = auto)"}
+		// The accepted set is [0, 1]: the open-interval phrasing this
+		// message once used contradicted the documented P = 0 auto value.
+		return &OptionError{Field: "P", Value: opts.P, Reason: "selection probability must lie in [0, 1] (0 selects the paper's auto value)"}
 	}
 	return nil
 }
@@ -194,6 +206,11 @@ func Color(g *graph.G, opts Options) (*Result, error) {
 			Rounds:    res.Rounds,
 			Phases:    res.Phases,
 			Algorithm: AlgBaseline,
+			// The baseline's stuck nodes are exactly the ones its Brooks
+			// token walks complete, so they are its repair count.
+			Repairs:           res.Stuck,
+			RepairBatches:     res.RepairBatches,
+			RepairBatchRounds: res.RepairBatchRounds,
 		}, nil
 	default:
 		return nil, &OptionError{Field: "Algorithm", Value: alg, Reason: "unknown algorithm"}
@@ -202,11 +219,13 @@ func Color(g *graph.G, opts Options) (*Result, error) {
 
 func fromCore(res *core.Result, alg Algorithm) *Result {
 	return &Result{
-		Colors:    res.Colors,
-		Delta:     res.Delta,
-		Rounds:    res.Rounds,
-		Phases:    res.Phases,
-		Repairs:   res.Repairs,
-		Algorithm: alg,
+		Colors:            res.Colors,
+		Delta:             res.Delta,
+		Rounds:            res.Rounds,
+		Phases:            res.Phases,
+		Repairs:           res.Repairs,
+		Algorithm:         alg,
+		RepairBatches:     res.RepairBatches,
+		RepairBatchRounds: res.RepairBatchRounds,
 	}
 }

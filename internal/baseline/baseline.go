@@ -30,6 +30,10 @@ type Result struct {
 	// Stuck is the number of nodes that needed a token walk (could not be
 	// fixed by greedy sweeps).
 	Stuck int
+	// RepairBatches / RepairBatchRounds mirror core.Result: the batch
+	// count and per-batch charged rounds of the token-walk repair engine.
+	RepairBatches     int
+	RepairBatchRounds []int
 }
 
 // Color computes a Δ-coloring of a nice graph with the baseline algorithm:
@@ -83,11 +87,12 @@ func Color(g *graph.G, seed int64) (*Result, error) {
 	}
 	acct.Charge("greedy-sweeps", sweepRounds)
 
-	// Hard cases: uncolor and run Brooks token walks. The stuck nodes form
-	// an independent set (they all hold color Δ); schedule them by greedy
-	// coloring of their interaction graph (balls of radius 3·searchRadius
-	// overlap => same batch forbidden), then run batches sequentially,
-	// charging the max walk length per batch.
+	// Hard cases: uncolor and run Brooks token walks through the batched
+	// repair engine. The stuck nodes form an independent set (they all
+	// hold color Δ); the engine schedules an MIS over their realized
+	// repair balls per batch and charges the max walk length per batch,
+	// replacing the old greedy distance-coloring scheduler with the same
+	// accounting discipline.
 	var stuck []int
 	for v := 0; v < n; v++ {
 		if colors[v] == delta {
@@ -95,26 +100,18 @@ func Color(g *graph.G, seed int64) (*Result, error) {
 			stuck = append(stuck, v)
 		}
 	}
+	var rres *brooks.BatchResult
 	if len(stuck) > 0 {
-		rB := brooks.SearchRadius(n, delta)
-		batches := scheduleByDistance(g, stuck, 6*rB+2)
-		for bi, batch := range batches {
-			maxRounds := 0
-			for _, v := range batch {
-				if colors[v] >= 0 {
-					// An earlier walk recolored v as a side effect.
-					continue
-				}
-				res, err := brooks.FixOne(g, colors, v, delta)
-				if err != nil {
-					return nil, fmt.Errorf("baseline: token walk at %d: %w", v, err)
-				}
-				copy(colors, res.Colors)
-				if res.Rounds > maxRounds {
-					maxRounds = res.Rounds
-				}
+		var err error
+		rres, err = brooks.RepairHoles(g, colors, stuck, delta, seed+2)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: token walks: %w", err)
+		}
+		for bi, b := range rres.Batches {
+			if b.SchedRounds > 0 {
+				acct.Charge(fmt.Sprintf("token-sched[%d]", bi), b.SchedRounds)
 			}
-			acct.Charge(fmt.Sprintf("token-batch[%d]", bi), maxRounds)
+			acct.Charge(fmt.Sprintf("token-batch[%d]", bi), b.Rounds)
 		}
 	}
 
@@ -126,44 +123,18 @@ func Color(g *graph.G, seed int64) (*Result, error) {
 			return nil, fmt.Errorf("baseline: node %d uses color %d >= Δ", v, colors[v])
 		}
 	}
-	return &Result{
+	out := &Result{
 		Colors: colors,
 		Delta:  delta,
 		Rounds: acct.Total(),
 		Phases: acct.Phases(),
 		Stuck:  len(stuck),
-	}, nil
-}
-
-// scheduleByDistance greedily partitions nodes into batches such that two
-// nodes in one batch are at distance > minDist (so their recoloring balls
-// cannot interact).
-func scheduleByDistance(g *graph.G, nodes []int, minDist int) [][]int {
-	var batches [][]int
-	remaining := append([]int(nil), nodes...)
-	for len(remaining) > 0 {
-		var batch, rest []int
-		taken := make(map[int]bool)
-		for _, v := range remaining {
-			ok := true
-			res := g.BFSLimited(v, minDist)
-			for _, u := range res.Order {
-				if u != v && taken[u] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				batch = append(batch, v)
-				taken[v] = true
-			} else {
-				rest = append(rest, v)
-			}
-		}
-		batches = append(batches, batch)
-		remaining = rest
 	}
-	return batches
+	if rres != nil {
+		out.RepairBatches = len(rres.Batches)
+		out.RepairBatchRounds = rres.BatchRounds()
+	}
+	return out, nil
 }
 
 func freeColor(g *graph.G, colors []int, v, delta int) int {

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"deltacolor/graph"
@@ -92,25 +93,35 @@ func TestBaselinePhaseAccounting(t *testing.T) {
 	}
 }
 
-func TestScheduleByDistanceSeparation(t *testing.T) {
-	g := gen.Grid(10, 10)
-	nodes := []int{0, 5, 9, 50, 55, 99}
-	minDist := 4
-	batches := scheduleByDistance(g, nodes, minDist)
-	total := 0
-	for _, b := range batches {
-		total += len(b)
-		for i := 0; i < len(b); i++ {
-			d, _ := g.MultiSourceDist([]int{b[i]})
-			for j := i + 1; j < len(b); j++ {
-				if d[b[j]] >= 0 && d[b[j]] <= minDist {
-					t.Fatalf("batch nodes %d,%d at distance %d <= %d", b[i], b[j], d[b[j]], minDist)
-				}
+func TestBaselineRepairBatchStats(t *testing.T) {
+	// When the baseline needs token walks, the batched engine's stats must
+	// be internally consistent: one rounds entry per batch, and the phase
+	// breakdown must carry a token-batch entry per batch.
+	for seed := int64(0); seed < 8; seed++ {
+		g := gen.MustRandomRegular(rand.New(rand.NewSource(seed)), 96, 4)
+		res, err := Color(g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResult(t, g, res)
+		if len(res.RepairBatchRounds) != res.RepairBatches {
+			t.Fatalf("seed %d: %d batch-rounds entries for %d batches", seed, len(res.RepairBatchRounds), res.RepairBatches)
+		}
+		tokenBatches := 0
+		for _, p := range res.Phases {
+			if strings.HasPrefix(p.Name, "token-batch[") {
+				tokenBatches++
 			}
 		}
-	}
-	if total != len(nodes) {
-		t.Fatalf("scheduled %d nodes, want %d", total, len(nodes))
+		if tokenBatches != res.RepairBatches {
+			t.Fatalf("seed %d: %d token-batch phases for %d batches", seed, tokenBatches, res.RepairBatches)
+		}
+		if res.Stuck == 0 && res.RepairBatches != 0 {
+			t.Fatalf("seed %d: %d batches with no stuck nodes", seed, res.RepairBatches)
+		}
+		if res.Stuck > 0 && res.RepairBatches == 0 {
+			t.Fatalf("seed %d: stuck=%d but no repair batches", seed, res.Stuck)
+		}
 	}
 }
 

@@ -76,10 +76,32 @@ func SearchRadius(n, delta int) int {
 	return r
 }
 
-// FixOne completes a partial Δ-coloring that is proper and total except at
-// node v (partial[v] must be < 0, all other nodes in v's component colored
-// with values in [0, delta)). It returns new colors; the input slice is not
-// modified.
+// FixOne completes node v of a proper partial Δ-coloring (partial[v] must
+// be < 0, colored nodes carry values in [0, delta)). It returns new colors;
+// the input slice is not modified.
+//
+// Multi-hole semantics: the coloring does NOT have to be total away from v.
+// Other uncolored nodes — the composite algorithms' deferral paths and the
+// SLOCAL executor both call FixOne mid-run with many holes open, some of
+// them adjacent — are treated as slack everywhere a color constraint is
+// read: freeColor ignores uncolored neighbors, and the DCC and fallback
+// recolorings build their lists (gallai.DegreeLists, deltaLists) from
+// colored boundary nodes only, so an uncolored boundary neighbor widens a
+// list instead of blocking a color. Two consequences, pinned by the
+// adjacent-hole regression tests:
+//
+//   - the token walk never steps into another hole: a token node adjacent
+//     to an uncolored neighbor sees at most Δ-1 colors and therefore exits
+//     early with a free color before the step is taken (in particular, a
+//     hole adjacent to another hole always resolves in ModeFree);
+//   - a DCC or fallback recoloring whose region contains other holes
+//     completes them as a side effect (their lists are supersets of the
+//     degree lists, so Theorem 8 still applies).
+//
+// Everything FixOne reads lies within distance Radius+1 of v and
+// everything it writes within distance Radius (TestFixOneTouchWithinRadius)
+// — the locality contract the batched repair engine in batch.go schedules
+// against.
 func FixOne(g *graph.G, partial []int, v, delta int) (*Result, error) {
 	if partial[v] >= 0 {
 		return nil, fmt.Errorf("brooks: node %d is already colored", v)

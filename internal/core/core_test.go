@@ -356,18 +356,26 @@ func TestRepairUncolored(t *testing.T) {
 		erased++
 	}
 	acct := &local.Accountant{}
-	fixed, err := RepairUncolored(g, colors, delta, acct)
+	rres, err := RepairUncolored(g, colors, delta, 17, acct)
 	if err != nil {
 		t.Fatalf("RepairUncolored: %v", err)
 	}
-	if fixed != erased {
-		t.Fatalf("fixed %d nodes, want %d", fixed, erased)
+	if rres.Fixed != erased {
+		t.Fatalf("fixed %d nodes, want %d", rres.Fixed, erased)
 	}
 	if err := verify.DeltaColoring(g, colors, delta); err != nil {
 		t.Fatalf("repair left invalid coloring: %v", err)
 	}
 	if acct.Total() <= 0 {
 		t.Fatalf("repair charged %d rounds, want > 0", acct.Total())
+	}
+	if len(rres.Batches) == 0 || acct.Total() != rres.TotalRounds() {
+		t.Fatalf("accountant total %d != engine total %d over %d batches", acct.Total(), rres.TotalRounds(), len(rres.Batches))
+	}
+	// Batching must not devolve into one batch per hole on a scattered
+	// erasure: at least one batch has to carry multiple repairs.
+	if len(rres.Batches) >= rres.Fixed {
+		t.Fatalf("%d batches for %d repairs: no batching happened", len(rres.Batches), rres.Fixed)
 	}
 }
 
@@ -423,5 +431,88 @@ func TestResultPhasesSumToTotal(t *testing.T) {
 	}
 	if sum != res.Rounds {
 		t.Fatalf("phase sum %d != total %d", sum, res.Rounds)
+	}
+}
+
+// diamondWithTail builds the anchor-overlap scenario of the PR 4 bugfix: a
+// diamond (K4 minus an edge, degree-choosable) whose nodes 1 and 3 are
+// also free nodes — 3 by low degree, 1 by an uncolored neighbor outside
+// the component — so the free-node singletons overlap the DCC group.
+func diamondWithTail() (g *graph.G, inL []bool, colors []int) {
+	g = graph.New(5)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	g.MustEdge(3, 0)
+	g.MustEdge(0, 2)
+	g.MustEdge(1, 4) // tail: node 4 outside L, uncolored
+	inL = []bool{true, true, true, true, false}
+	colors = []int{-1, -1, -1, -1, -1}
+	return g, inL, colors
+}
+
+func TestDiscoverAnchorsOverlapExcluded(t *testing.T) {
+	g, inL, colors := diamondWithTail()
+	delta := 3
+	lGraph := maskGraph(g, inL)
+	comp, count := lGraph.ConnectedComponents()
+	byComp := make([][]int, count)
+	for v := 0; v < g.N(); v++ {
+		if inL[v] {
+			byComp[comp[v]] = append(byComp[comp[v]], v)
+		}
+	}
+	groups, _, err := discoverAnchors(g, inL, colors, byComp, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dccGroups, freeGroups int
+	owned := map[int]bool{}
+	for _, grp := range groups {
+		if grp.free {
+			freeGroups++
+		} else {
+			dccGroups++
+		}
+		for _, v := range grp.nodes {
+			if owned[v] {
+				t.Fatalf("node %d appears in two anchor groups: %+v", v, groups)
+			}
+			owned[v] = true
+		}
+	}
+	if dccGroups == 0 {
+		t.Fatalf("the diamond DCC was not discovered: %+v", groups)
+	}
+	// Nodes 1 (uncolored outside neighbor) and 3 (degree 2 < Δ) qualify as
+	// free nodes but sit inside the DCC group; the dedupe must drop their
+	// singletons instead of emitting overlapping anchors.
+	if freeGroups != 0 {
+		t.Fatalf("free singletons overlap the DCC group: %+v", groups)
+	}
+}
+
+func TestSmallComponentsOverlappingAnchors(t *testing.T) {
+	// End to end: colorSmallComponents on the overlap construction must
+	// color all of L properly with nothing deferred (the DCC anchor covers
+	// the whole component).
+	g, inL, colors := diamondWithTail()
+	delta := 3
+	acct := &local.Accountant{}
+	lc := NewLayerColorer(g, delta, ListColorRandomized, 7, acct)
+	deferred, err := colorSmallComponents(g, inL, colors, delta, RandOptions{Seed: 7}.AutoParams(g.N(), delta), lc, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deferred != 0 {
+		t.Fatalf("deferred = %d, want 0", deferred)
+	}
+	for v := 0; v < g.N(); v++ {
+		if inL[v] && colors[v] < 0 {
+			t.Fatalf("L node %d left uncolored", v)
+		}
+	}
+	if err := verify.PartialColoring(g, colors, delta); err != nil {
+		t.Fatal(err)
 	}
 }

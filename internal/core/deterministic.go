@@ -61,6 +61,19 @@ type Result struct {
 	Rounds  int
 	Phases  []local.PhaseStat
 	Repairs int // nodes completed by the Brooks safety net
+	// RepairBatches counts the batch iterations the Brooks repair engine
+	// ran (across every engine invocation of the algorithm); 0 when no
+	// repairs were needed. RepairBatchRounds is the per-batch charged
+	// rounds histogram (scheduling + execution), concatenated in
+	// invocation order.
+	RepairBatches     int
+	RepairBatchRounds []int
+}
+
+// addRepairStats folds one batched-repair run into the result's stats.
+func (r *Result) addRepairStats(res *brooks.BatchResult) {
+	r.RepairBatches += len(res.Batches)
+	r.RepairBatchRounds = append(r.RepairBatchRounds, res.BatchRounds()...)
 }
 
 // Deterministic runs the Theorem 4 algorithm:
@@ -117,36 +130,34 @@ func Deterministic(g *graph.G, seed int64) (*Result, error) {
 		return nil, err
 	}
 
-	// Color B0 via Theorem 5, charging the maximum rounds (independent
-	// recolorings run in parallel; the ruling-set spacing guarantees
-	// disjoint recoloring balls).
-	maxRounds := 0
-	for _, v := range base {
-		res, err := brooks.FixOne(g, colors, v, delta)
-		if err != nil {
-			return nil, fmt.Errorf("deterministic: color B0 node %d: %w", v, err)
-		}
-		copy(colors, res.Colors)
-		if res.Rounds > maxRounds {
-			maxRounds = res.Rounds
-		}
-	}
-	acct.Charge("brooks-B0", maxRounds)
-
-	fixed, err := RepairUncolored(g, colors, delta, acct)
+	// Color B0 via Theorem 5 through the batch engine: the ruling-set
+	// spacing guarantees disjoint recoloring balls, so the engine schedules
+	// every B0 repair into one batch charged max rounds — the same
+	// accounting the old hand-rolled loop used, now with the independence
+	// verified instead of assumed.
+	b0res, err := brooks.RepairHoles(g, colors, base, delta, seed+0xb0)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("deterministic: color B0: %w", err)
 	}
-	repairs += fixed
+	chargeRepairBatches(acct, "brooks-B0", b0res)
+
+	rres, err := RepairUncolored(g, colors, delta, seed+0x4e9, acct)
+	if err != nil {
+		return nil, fmt.Errorf("deterministic: %w", err)
+	}
+	repairs += rres.Fixed
 
 	if err := dist.VerifyColoring(g, colors); err != nil {
 		return nil, fmt.Errorf("deterministic: %w", err)
 	}
-	return &Result{
+	out := &Result{
 		Colors:  colors,
 		Delta:   delta,
 		Rounds:  acct.Total(),
 		Phases:  acct.Phases(),
 		Repairs: repairs,
-	}, nil
+	}
+	out.addRepairStats(b0res)
+	out.addRepairStats(rres)
+	return out, nil
 }

@@ -152,23 +152,28 @@ func repairDefer(colors []int, active []bool) int {
 	return n
 }
 
-// RepairUncolored completes any remaining uncolored nodes with sequential
-// applications of the distributed Brooks procedure (Theorem 5). It charges
-// the summed rounds (the repairs are not known to be independent). Used as
-// the safety net that makes every algorithm total on all nice inputs.
-func RepairUncolored(g *graph.G, colors []int, delta int, acct *local.Accountant) (int, error) {
-	fixed := 0
-	for v := 0; v < g.N(); v++ {
-		if colors[v] >= 0 {
-			continue
-		}
-		res, err := brooks.FixOne(g, colors, v, delta)
-		if err != nil {
-			return fixed, fmt.Errorf("repair node %d: %w", v, err)
-		}
-		copy(colors, res.Colors)
-		acct.Charge("repair", res.Rounds)
-		fixed++
+// RepairUncolored completes any remaining uncolored nodes with the batched
+// distributed Brooks engine (Theorem 5 walks scheduled by an MIS over
+// their repair balls, see brooks.RepairHoles). Each batch of
+// pairwise-independent repairs is charged its max rounds plus the
+// scheduling cost — not the sum the pre-batching safety net billed. Used
+// as the safety net that makes every algorithm total on all nice inputs.
+func RepairUncolored(g *graph.G, colors []int, delta int, seed int64, acct *local.Accountant) (*brooks.BatchResult, error) {
+	res, err := brooks.Repair(g, colors, delta, seed)
+	if err != nil {
+		return res, fmt.Errorf("repair: %w", err)
 	}
-	return fixed, nil
+	chargeRepairBatches(acct, "repair", res)
+	return res, nil
+}
+
+// chargeRepairBatches records a batched repair run's per-batch costs under
+// phase names "<prefix>-sched[i]" / "<prefix>-batch[i]".
+func chargeRepairBatches(acct *local.Accountant, prefix string, res *brooks.BatchResult) {
+	for i, b := range res.Batches {
+		if b.SchedRounds > 0 {
+			acct.Charge(fmt.Sprintf("%s-sched[%d]", prefix, i), b.SchedRounds)
+		}
+		acct.Charge(fmt.Sprintf("%s-batch[%d]", prefix, i), b.Rounds)
+	}
 }

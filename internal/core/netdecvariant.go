@@ -73,39 +73,33 @@ func DeterministicNetDec(g *graph.G, seed int64) (*Result, error) {
 		return nil, err
 	}
 
-	// (4) B0 via Theorem 5 (independent recolorings; spacing >= bigR).
-	maxRounds := 0
-	for _, v := range base {
-		if colors[v] >= 0 {
-			continue
-		}
-		res, err := brooks.FixOne(g, colors, v, delta)
-		if err != nil {
-			return nil, fmt.Errorf("netdec variant: color B0 node %d: %w", v, err)
-		}
-		copy(colors, res.Colors)
-		if res.Rounds > maxRounds {
-			maxRounds = res.Rounds
-		}
-	}
-	acct.Charge("brooks-B0", maxRounds)
-
-	fixed, err := RepairUncolored(g, colors, delta, acct)
+	// (4) B0 via Theorem 5 through the batch engine (independent
+	// recolorings; spacing >= bigR puts them all in one batch).
+	b0res, err := brooks.RepairHoles(g, colors, base, delta, seed+0xb0)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("netdec variant: color B0: %w", err)
 	}
-	repairs += fixed
+	chargeRepairBatches(acct, "brooks-B0", b0res)
+
+	rres, err := RepairUncolored(g, colors, delta, seed+0x4e9, acct)
+	if err != nil {
+		return nil, fmt.Errorf("netdec variant: %w", err)
+	}
+	repairs += rres.Fixed
 
 	if err := dist.VerifyColoring(g, colors); err != nil {
 		return nil, fmt.Errorf("netdec variant: %w", err)
 	}
-	return &Result{
+	out := &Result{
 		Colors:  colors,
 		Delta:   delta,
 		Rounds:  acct.Total(),
 		Phases:  acct.Phases(),
 		Repairs: repairs,
-	}, nil
+	}
+	out.addRepairStats(b0res)
+	out.addRepairStats(rres)
+	return out, nil
 }
 
 // rulingSetViaDecomposition selects cluster centers class by class,

@@ -223,22 +223,24 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 		acct.Charge("B0-bruteforce", 2*maxRad+1)
 	}
 
-	fixed, err := RepairUncolored(g, colors, delta, acct)
+	rres, err := RepairUncolored(g, colors, delta, o.Seed+0x4e9, acct)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("randomized: %w", err)
 	}
-	repairs += fixed
+	repairs += rres.Fixed
 
 	if err := dist.VerifyColoring(g, colors); err != nil {
 		return nil, fmt.Errorf("randomized: %w", err)
 	}
-	return &Result{
+	out := &Result{
 		Colors:  colors,
 		Delta:   delta,
 		Rounds:  acct.Total(),
 		Phases:  acct.Phases(),
 		Repairs: repairs,
-	}, nil
+	}
+	out.addRepairStats(rres)
+	return out, nil
 }
 
 // shatterState is the outcome of the marking process (phase 4).

@@ -34,51 +34,10 @@ func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o Ran
 		}
 	}
 
-	// Anchor discovery per component.
-	var groups [][]int
-	groupFree := map[int]bool{} // group index -> is a free-node singleton
-	maxRC := 0
 	deferred := 0
-	maxCompSize := 0
-	for _, nodes := range byComp {
-		if len(nodes) == 0 {
-			continue
-		}
-		if len(nodes) > maxCompSize {
-			maxCompSize = len(nodes)
-		}
-		base := math.Max(2, float64(delta-2))
-		rc := int(math.Ceil(2*math.Log(float64(len(nodes))+1)/math.Log(base))) + 1
-		if rc > maxRC {
-			maxRC = rc
-		}
-		// Free nodes.
-		for _, v := range nodes {
-			if isFreeNode(g, inL, colors, v, delta) {
-				groupFree[len(groups)] = true
-				groups = append(groups, []int{v})
-			}
-		}
-		// DCCs inside the component (searched in the induced subgraph so
-		// the component's own structure decides choosability).
-		sub, orig, err := g.InducedSubgraph(nodes)
-		if err != nil {
-			return deferred, err
-		}
-		subDCCs, _, _ := gallai.SelectDCCs(sub, rc)
-		seen := map[int]bool{}
-		for _, d := range subDCCs {
-			key := minOf(d)
-			if seen[key] {
-				continue // dedupe identical selections cheaply by their min node
-			}
-			seen[key] = true
-			mapped := make([]int, len(d))
-			for i, x := range d {
-				mapped[i] = orig[x]
-			}
-			groups = append(groups, mapped)
-		}
+	groups, maxRC, err := discoverAnchors(g, inL, colors, byComp, delta)
+	if err != nil {
+		return deferred, err
 	}
 	acct.Charge("small-anchors", 2*maxRC)
 	if len(groups) == 0 {
@@ -94,7 +53,11 @@ func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o Ran
 
 	// Ruling set over the virtual anchor graph, built straight from the
 	// masked graph's port tables (see local.QuotientNetwork).
-	qnet := local.QuotientNetwork(lGraph, groups, o.Seed+23)
+	nodeSets := make([][]int, len(groups))
+	for gi, grp := range groups {
+		nodeSets[gi] = grp.nodes
+	}
+	qnet := local.QuotientNetwork(lGraph, nodeSets, o.Seed+23)
 	inMIS, misRounds := dist.LubyMIS(qnet, nil)
 	acct.Charge("small-ruling-set", misRounds*(2*maxRC+1))
 
@@ -106,7 +69,7 @@ func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o Ran
 			continue
 		}
 		chosen = append(chosen, gi)
-		for _, v := range grp {
+		for _, v := range grp.nodes {
 			if !inBase[v] {
 				inBase[v] = true
 				base = append(base, v)
@@ -144,8 +107,8 @@ func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o Ran
 	maxRad := 0
 	for _, gi := range chosen {
 		grp := groups[gi]
-		if groupFree[gi] {
-			v := grp[0]
+		if grp.free {
+			v := grp.nodes[0]
 			if colors[v] < 0 {
 				if c := freeColorOf(g, colors, v, delta); c >= 0 {
 					colors[v] = c
@@ -155,24 +118,87 @@ func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o Ran
 			}
 			continue
 		}
-		if !allUncolored(colors, grp) {
+		if !allUncolored(colors, grp.nodes) {
 			continue
 		}
-		lists := gallai.DegreeLists(g, grp, colors, delta)
-		sol, err := gallai.BruteListColor(g, grp, lists)
+		lists := gallai.DegreeLists(g, grp.nodes, colors, delta)
+		sol, err := gallai.BruteListColor(g, grp.nodes, lists)
 		if err != nil {
-			deferred += len(grp)
+			deferred += len(grp.nodes)
 			continue
 		}
 		for v, c := range sol {
 			colors[v] = c
 		}
-		if r := gallai.SetRadius(g, grp); r > maxRad {
+		if r := gallai.SetRadius(g, grp.nodes); r > maxRad {
 			maxRad = r
 		}
 	}
 	acct.Charge("small-anchors-color", 2*maxRad+1)
 	return deferred, nil
+}
+
+// anchorGroup is one candidate anchor of a small component: a DCC (free ==
+// false) or a free-node singleton (free == true).
+type anchorGroup struct {
+	nodes []int
+	free  bool
+}
+
+// discoverAnchors finds the candidate anchors of every component: DCC
+// groups first, then free-node singletons for nodes outside every DCC
+// group of their component. The exclusion matters because anchor groups
+// may otherwise overlap — a free node frequently sits inside a
+// degree-choosable component — and while the quotient network marks
+// overlapping groups adjacent, so the ruling set can never select two
+// groups sharing a node (TestQuotientNetworkSharedMemberAdjacent), a
+// redundant singleton anchor would only shrink the ruling set's coverage.
+// The returned groups are pairwise disjoint within each component by
+// construction (TestDiscoverAnchorsOverlapExcluded). maxRC is the largest
+// per-component DCC search radius, the ball the anchor discovery is
+// charged for.
+func discoverAnchors(g *graph.G, inL []bool, colors []int, byComp [][]int, delta int) (groups []anchorGroup, maxRC int, err error) {
+	for _, nodes := range byComp {
+		if len(nodes) == 0 {
+			continue
+		}
+		base := math.Max(2, float64(delta-2))
+		rc := int(math.Ceil(2*math.Log(float64(len(nodes))+1)/math.Log(base))) + 1
+		if rc > maxRC {
+			maxRC = rc
+		}
+		// DCCs inside the component (searched in the induced subgraph so
+		// the component's own structure decides choosability).
+		sub, orig, err := g.InducedSubgraph(nodes)
+		if err != nil {
+			return nil, maxRC, err
+		}
+		subDCCs, _, _ := gallai.SelectDCCs(sub, rc)
+		seen := map[int]bool{}
+		inDCC := map[int]bool{}
+		for _, d := range subDCCs {
+			key := minOf(d)
+			if seen[key] {
+				continue // dedupe identical selections cheaply by their min node
+			}
+			seen[key] = true
+			mapped := make([]int, len(d))
+			for i, x := range d {
+				mapped[i] = orig[x]
+			}
+			groups = append(groups, anchorGroup{nodes: mapped})
+			for _, v := range mapped {
+				inDCC[v] = true
+			}
+		}
+		// Free nodes not already anchored by a DCC group.
+		for _, v := range nodes {
+			if !inDCC[v] && isFreeNode(g, inL, colors, v, delta) {
+				groups = append(groups, anchorGroup{nodes: []int{v}, free: true})
+			}
+		}
+	}
+	return groups, maxRC, nil
 }
 
 // isFreeNode implements the Section 4.3 definition: degree < Δ, or at

@@ -105,3 +105,31 @@ func TestClaimE1NormalizedRoundsBounded(t *testing.T) {
 		}
 	}
 }
+
+// E13: batched repair rounds must scale with batches, not holes — on every
+// row the batched charge beats the summed charge by at least 5x and the
+// batch count stays tiny while the hole count grows.
+func TestClaimE13BatchedBeatsSummed(t *testing.T) {
+	tb := E13RepairTail(Config{Quick: true, Seed: 17, Strict: true})
+	if len(tb.Rows) == 0 {
+		t.Fatal("E13 produced no rows")
+	}
+	for _, row := range tb.Rows {
+		holes := atoi(t, row[2])
+		batches := atoi(t, row[3])
+		summed := atoi(t, row[4])
+		batched := atoi(t, row[5])
+		if batched*5 > summed {
+			t.Fatalf("row %v: batched %d not at least 5x below summed %d", row, batched, summed)
+		}
+		if batches > 2 {
+			t.Fatalf("row %v: %d batches for the constructed workloads, want <= 2", row, batches)
+		}
+		if holes <= batches {
+			t.Fatalf("row %v: %d holes vs %d batches — workload does not force batching", row, holes, batches)
+		}
+		if ratio := atof(t, row[6]); ratio >= 1 {
+			t.Fatalf("row %v: ratio %.4f >= 1", row, ratio)
+		}
+	}
+}

@@ -1,7 +1,8 @@
-// Package exp is the experiment harness: one runner per experiment E1–E10
-// of DESIGN.md §4, each producing a Table whose rows cmd/benchsuite prints
-// and EXPERIMENTS.md records. bench_test.go wraps the same runners in
-// testing.B benchmarks so `go test -bench=.` regenerates every table.
+// Package exp is the experiment harness: one runner per experiment
+// (E1–E13, DESIGN.md §4 plus the runtime and repair-tail additions), each
+// producing a Table whose rows cmd/benchsuite prints and EXPERIMENTS.md
+// records. bench_test.go wraps the same runners in testing.B benchmarks so
+// `go test -bench=.` regenerates every table.
 package exp
 
 import (

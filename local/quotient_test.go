@@ -82,3 +82,45 @@ func TestQuotientNetworkRunsProtocols(t *testing.T) {
 		}
 	}
 }
+
+// TestQuotientNetworkSharedMemberAdjacent pins the safety property the
+// anchor ruling set and the batched repair engine both rely on: two groups
+// that share a member are always adjacent in the quotient, so an MIS over
+// the quotient network can never select both. (core.discoverAnchors
+// additionally keeps anchor groups disjoint by construction; this is the
+// backstop for group sets that do overlap, like realized repair balls.)
+func TestQuotientNetworkSharedMemberAdjacent(t *testing.T) {
+	g := graph.New(6)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	g.MustEdge(3, 4)
+	g.MustEdge(4, 5)
+	cases := [][][]int{
+		{{0, 1, 2}, {2, 3, 4}},         // share node 2
+		{{0, 1}, {1, 2}, {2, 3}},       // chain of overlaps
+		{{0, 1, 2, 3}, {3}, {3, 4, 5}}, // singleton inside both
+	}
+	for ci, groups := range cases {
+		net := QuotientNetwork(g, groups, 1)
+		qg := net.Graph()
+		for a := 0; a < len(groups); a++ {
+			inA := map[int]bool{}
+			for _, v := range groups[a] {
+				inA[v] = true
+			}
+			for b := a + 1; b < len(groups); b++ {
+				shared := false
+				for _, v := range groups[b] {
+					if inA[v] {
+						shared = true
+						break
+					}
+				}
+				if shared && !qg.HasEdge(a, b) {
+					t.Fatalf("case %d: groups %d and %d share a member but are not adjacent", ci, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package slocal
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
 	"deltacolor/graph"
 	"deltacolor/graph/gen"
+	"deltacolor/internal/brooks"
 	"deltacolor/verify"
 )
 
@@ -133,4 +135,104 @@ func rev(n int) []int {
 // without exporting it through the test.
 func searchBound(n, delta int) int {
 	return int(math.Ceil(2 * math.Log(float64(n)) / math.Log(float64(delta-1))))
+}
+
+// deltaColorRebuild is the pre-PR-4 reference implementation of DeltaColor:
+// it rebuilds the full partial slice with an O(n) scan before every Brooks
+// call and writes back with an O(n) diff scan. Kept verbatim so the
+// incremental-bookkeeping path can be asserted byte-identical against it.
+func deltaColorRebuild(g *graph.G, order []int) (colors []int, locality int, err error) {
+	delta := g.MaxDegree()
+	if delta < 3 {
+		return nil, 0, fmt.Errorf("slocal: Δ=%d < 3", delta)
+	}
+	radius := 3*brooks.SearchRadius(g.N(), delta) + 1
+
+	res, err := Run(g, order, radius, func(s *State) {
+		v := s.Center
+		used := make([]bool, delta)
+		for _, u := range s.G.Neighbors(v) {
+			if c, ok := s.Read(u).(int); ok {
+				used[c] = true
+			}
+		}
+		for c := 0; c < delta; c++ {
+			if !used[c] {
+				s.Write(v, c)
+				return
+			}
+		}
+		partial := make([]int, s.G.N())
+		for u := 0; u < s.G.N(); u++ {
+			partial[u] = -1
+			if c, ok := s.outs[u].(int); ok {
+				partial[u] = c
+			}
+		}
+		fix, err := brooks.FixOne(s.G, partial, v, delta)
+		if err != nil {
+			panic(fmt.Sprintf("slocal: brooks at %d: %v", v, err))
+		}
+		for u := 0; u < s.G.N(); u++ {
+			if fix.Colors[u] != partial[u] || u == v {
+				if fix.Colors[u] >= 0 {
+					s.Write(u, fix.Colors[u])
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	colors = make([]int, g.N())
+	for v := range colors {
+		c, ok := res.Outputs[v].(int)
+		if !ok {
+			return nil, 0, fmt.Errorf("slocal: node %d left uncolored", v)
+		}
+		colors[v] = c
+	}
+	if err := verify.DeltaColoring(g, colors, delta); err != nil {
+		return nil, 0, err
+	}
+	return colors, res.MaxLocality, nil
+}
+
+// TestDeltaColorMatchesRebuildPath pins the incremental partial-coloring
+// bookkeeping byte-identical to the old rebuild-per-step path: same colors,
+// same measured locality, across graph families and adversarial orders.
+func TestDeltaColorMatchesRebuildPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	graphs := []*graph.G{
+		gen.MustRandomRegular(rng, 96, 4),
+		gen.MustRandomRegular(rng, 64, 3),
+		gen.Torus(6, 6),
+		gen.Hypercube(4),
+	}
+	for gi, g := range graphs {
+		n := g.N()
+		rev := make([]int, n)
+		for i := range rev {
+			rev[i] = n - 1 - i
+		}
+		orders := [][]int{seq(n), rev, rng.Perm(n)}
+		for oi, order := range orders {
+			got, gotLoc, err := DeltaColor(g, order)
+			if err != nil {
+				t.Fatalf("graph %d order %d: %v", gi, oi, err)
+			}
+			want, wantLoc, err := deltaColorRebuild(g, order)
+			if err != nil {
+				t.Fatalf("graph %d order %d (rebuild): %v", gi, oi, err)
+			}
+			if gotLoc != wantLoc {
+				t.Fatalf("graph %d order %d: locality %d != rebuild %d", gi, oi, gotLoc, wantLoc)
+			}
+			for v := range got {
+				if got[v] != want[v] {
+					t.Fatalf("graph %d order %d node %d: color %d != rebuild %d", gi, oi, v, got[v], want[v])
+				}
+			}
+		}
+	}
 }
