@@ -1,4 +1,4 @@
-// Command benchsuite runs the experiment suite E1–E13 (DESIGN.md §4) at
+// Command benchsuite runs the experiment suite E1–E14 (DESIGN.md §4) at
 // full scale and prints every table as markdown — the exact content
 // EXPERIMENTS.md records. Use -quick for a smoke-scale pass and -only to
 // select individual experiments. -strict turns any message staged for a
@@ -6,7 +6,10 @@
 // the runtime-throughput benchmark; -runtimejson additionally serializes
 // its report (BENCH_runtime.json), and -baseline compares the fresh E12
 // numbers against a checked-in report, failing on a rounds/s regression
-// beyond -maxregress at the largest common scale.
+// beyond -maxregress at the largest common scale. E14 is the
+// cache-locality relabeling ablation; -localityjson serializes its report
+// (BENCH_locality.json), and under -strict the run fails if relabeling on
+// delivers fewer rr4 rounds/s than relabeling off at the largest n.
 //
 //	go run ./cmd/benchsuite                  # full suite (minutes)
 //	go run ./cmd/benchsuite -quick           # smoke scale (seconds)
@@ -14,11 +17,13 @@
 //	go run ./cmd/benchsuite -only E4,E6      # a subset
 //	go run ./cmd/benchsuite -only E12 -runtimejson BENCH_runtime.json
 //	go run ./cmd/benchsuite -quick -only E12 -baseline BENCH_runtime.json
+//	go run ./cmd/benchsuite -quick -strict -only E14 -localityjson BENCH_locality_quick.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -33,6 +38,7 @@ func main() {
 		only       = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of markdown (notes omitted)")
 		rtJSON     = flag.String("runtimejson", "", "write the E12 runtime report to this path (implies running E12)")
+		locJSON    = flag.String("localityjson", "", "write the E14 locality report to this path (implies running E14)")
 		strict     = flag.Bool("strict", false, "fail hard on dead sends (messages staged for halted neighbors)")
 		baseline   = flag.String("baseline", "", "compare the E12 report against this baseline JSON (implies running E12)")
 		maxRegress = flag.Float64("maxregress", 0.30, "max tolerated rounds/s regression vs -baseline (fraction)")
@@ -112,26 +118,50 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "benchmark delta vs %s OK (tolerance -%.0f%%)\n", *baseline, *maxRegress*100)
 		}
-		if *rtJSON != "" {
-			f, err := os.Create(*rtJSON)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "runtimejson: %v\n", err)
+		writeReport(*rtJSON, "runtimejson", rep)
+	}
+	// E14 follows the E12 pattern: run once when selected, optionally
+	// serialized, and gated under -strict (relabeling on must not lose to
+	// the ablation on rr4 at the largest measured n).
+	if len(want) == 0 || want["E14"] || *locJSON != "" {
+		t0 := time.Now()
+		rep := exp.LocalityAblation(cfg)
+		emit("E14", rep.Table(), t0)
+		if *strict {
+			if err := exp.LocalityGate(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
 				os.Exit(1)
 			}
-			if err := rep.WriteJSON(f); err != nil {
-				fmt.Fprintf(os.Stderr, "runtimejson: %v\n", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "runtimejson: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *rtJSON)
+			fmt.Fprintln(os.Stderr, "locality gate OK (relabel-on >= relabel-off on rr4)")
 		}
+		writeReport(*locJSON, "localityjson", rep)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "suite done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeReport serializes an experiment report to path (a no-op when the
+// flag was not given); any failure is fatal under the flag's name.
+func writeReport(path, flagName string, rep interface{ WriteJSON(io.Writer) error }) {
+	if path == "" {
+		return
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flagName, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

@@ -34,12 +34,31 @@ func FuzzReadEdgeList(f *testing.F) {
 }
 
 // FuzzFromGraph6: the decoder must never panic, and anything it accepts
-// must re-encode to a decodable string describing the same graph.
+// must survive a decode→encode→decode round trip with n and m intact.
 func FuzzFromGraph6(f *testing.F) {
 	f.Add("DQc")
 	f.Add("?")
 	f.Add("A_")
 	f.Add("~~~")
+	// Regression seeds for decoder hardening: whitespace-only input
+	// (previously indexed an empty slice and panicked), bare and
+	// truncated 4-byte headers, a valid 4-byte-form encoding (P_63),
+	// payload length mismatches, and non-canonical padding.
+	f.Add("   ")
+	f.Add("\n\t")
+	f.Add("~")
+	f.Add("~~")
+	f.Add("~?")
+	f.Add("~??B")
+	long := New(63) // n > 62 exercises the 4-byte header form
+	for i := 0; i+1 < 63; i++ {
+		long.MustEdge(i, i+1)
+	}
+	if s, err := ToGraph6(long); err == nil {
+		f.Add(s)
+	}
+	f.Add("DQcQc")
+	f.Add("Bx") // K3 "Bw" with a padding bit flipped
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := FromGraph6(in)
 		if err != nil {

@@ -50,12 +50,16 @@ func ToGraph6(g *G) (string, error) {
 	return sb.String(), nil
 }
 
-// FromGraph6 decodes a graph6 string.
+// FromGraph6 decodes a graph6 string. Malformed input — empty or
+// whitespace-only strings, bytes outside the graph6 alphabet, truncated
+// or oversized payloads, unsupported headers, and non-canonical padding
+// (set bits past the n(n-1)/2 edge bits, which nauty never emits) — is
+// reported as an error, never a panic.
 func FromGraph6(s string) (*G, error) {
-	if len(s) == 0 {
+	data := []byte(strings.TrimSpace(s))
+	if len(data) == 0 {
 		return nil, fmt.Errorf("graph6: empty input")
 	}
-	data := []byte(strings.TrimSpace(s))
 	for _, b := range data {
 		if b < 63 || b > 126 {
 			return nil, fmt.Errorf("graph6: byte %q out of range", b)
@@ -72,10 +76,15 @@ func FromGraph6(s string) (*G, error) {
 	default:
 		return nil, fmt.Errorf("graph6: unsupported large-n header")
 	}
-	need := (n*(n-1)/2 + 5) / 6
-	if len(data)-off != need {
-		return nil, fmt.Errorf("graph6: n=%d needs %d payload bytes, got %d", n, need, len(data)-off)
+	// n <= 258047 here, so the bit count fits comfortably in int64; the
+	// comparison stays in int64 throughout because the byte count itself
+	// can exceed a 32-bit int.
+	bits64 := int64(n) * int64(n-1) / 2
+	need64 := (bits64 + 5) / 6
+	if int64(len(data)-off) != need64 {
+		return nil, fmt.Errorf("graph6: n=%d needs %d payload bytes, got %d", n, need64, len(data)-off)
 	}
+	need := int(need64) // == len(data)-off, so it fits int on every platform
 	g := New(n)
 	bit := 0
 	for v := 1; v < n; v++ {
@@ -88,6 +97,15 @@ func FromGraph6(s string) (*G, error) {
 				}
 			}
 			bit++
+		}
+	}
+	// Canonical form zero-pads the final 6-bit group; a set padding bit
+	// means the input is corrupt (or not graph6 at all).
+	for ; bit < 6*need; bit++ {
+		byteIdx := off + bit/6
+		shift := 5 - bit%6
+		if (data[byteIdx]-63)>>shift&1 == 1 {
+			return nil, fmt.Errorf("graph6: non-canonical padding bit %d set", bit)
 		}
 	}
 	return g, nil

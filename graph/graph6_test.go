@@ -93,14 +93,64 @@ func TestGraph6LargeN(t *testing.T) {
 	}
 }
 
+// TestGraph6Errors table-tests malformed inputs found by fuzzing: every
+// row must come back as an error, never a panic or a silent accept.
 func TestGraph6Errors(t *testing.T) {
-	if _, err := FromGraph6(""); err == nil {
-		t.Fatal("empty input accepted")
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"whitespace-only", "  \n\t"}, // used to panic: TrimSpace left nothing to index
+		{"truncated-payload", "D"},
+		{"out-of-range-byte", "\x1f"},
+		{"out-of-range-interior", "D\x00Qc"},
+		{"bare-long-prefix", "~"},
+		{"short-long-header", "~~"},
+		{"sparse6-style-header", "~~~~~"},
+		{"long-header-no-payload", "~??B"},
+		{"oversized-payload", "DQcQc"},
+		{"short-form-missing-bytes", "Z"},
+		{"padding-bits-set", "?A"}, // n=0 claims a payload byte
 	}
-	if _, err := FromGraph6("D"); err == nil {
-		t.Fatal("truncated payload accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := FromGraph6(tc.in)
+			if err == nil {
+				t.Fatalf("malformed input %q accepted (n=%d m=%d)", tc.in, g.N(), g.M())
+			}
+		})
 	}
-	if _, err := FromGraph6("\x1f"); err == nil {
-		t.Fatal("out-of-range byte accepted")
+}
+
+// TestGraph6NonCanonicalPadding: the last 6-bit group of a K3 ("Bw")
+// uses only 3 edge bits; flipping a padding bit must be rejected.
+func TestGraph6NonCanonicalPadding(t *testing.T) {
+	k3 := New(3)
+	k3.MustEdge(0, 1)
+	k3.MustEdge(0, 2)
+	k3.MustEdge(1, 2)
+	s, err := ToGraph6(k3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromGraph6(s); err != nil {
+		t.Fatalf("canonical K3 %q rejected: %v", s, err)
+	}
+	// Set the lowest padding bit of the final 6-bit group (the group
+	// value is offset by 63, so flip before re-offsetting).
+	bad := []byte(s)
+	bad[len(bad)-1] = ((bad[len(bad)-1] - 63) | 1) + 63
+	if _, err := FromGraph6(string(bad)); err == nil {
+		t.Fatalf("non-canonical padding in %q accepted", bad)
+	}
+}
+
+// TestGraph6SurroundingWhitespace: trailing newlines (as produced by
+// geng pipelines) are tolerated around an otherwise canonical string.
+func TestGraph6SurroundingWhitespace(t *testing.T) {
+	g, err := FromGraph6("DQc\n")
+	if err != nil || g.N() != 5 || g.M() != 4 {
+		t.Fatalf("got n=%v m=%v err=%v, want 5, 4, nil", g.N(), g.M(), err)
 	}
 }

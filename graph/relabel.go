@@ -1,0 +1,146 @@
+package graph
+
+// Node relabeling for cache locality. The LOCAL runtime lays every
+// per-node and per-edge table out by node ID, so the memory distance
+// between two adjacent nodes' slots is exactly the difference of their
+// IDs. A labeling with small bandwidth (max |u - v| over edges {u, v})
+// therefore makes both stepping and message delivery walk near-sequential
+// memory; a random labeling makes every delivered message a cold cache
+// line. The orders below are consumed by local.NewNetwork, which keeps
+// the external IDs observable and uses the computed order only for its
+// internal table layout.
+
+// rcmDegreeCap is the maximum degree up to which LocalityOrder pays for
+// the per-node neighbor sort of reverse Cuthill–McKee. Beyond it (dense
+// graphs, cliques) the sort costs Θ(Σ deg·log Δ) for little locality
+// gain — any order of a near-complete graph touches almost every cache
+// line — so LocalityOrder falls back to the plain BFS order.
+const rcmDegreeCap = 512
+
+// LocalityOrder returns a cache-friendly node order for g: reverse
+// Cuthill–McKee for graphs of bounded degree, plain BFS order (the RCM
+// skeleton without the neighbor sort) when Δ exceeds rcmDegreeCap. The
+// returned slice ord is a permutation of [0, n): ord[i] is the node
+// placed at position i.
+func LocalityOrder(g *G) []int {
+	if g.MaxDegree() > rcmDegreeCap {
+		return BFSOrder(g)
+	}
+	return RCMOrder(g)
+}
+
+// RCMOrder returns the reverse Cuthill–McKee order of g: each component
+// is traversed breadth-first from a minimum-degree node, enqueueing
+// unvisited neighbors in ascending degree (ties by ID), and the
+// concatenated visit order is reversed. Components are seeded in
+// ascending (degree, ID) order, so the result is deterministic.
+func RCMOrder(g *G) []int {
+	ord := traversalOrder(g, true)
+	for i, j := 0, len(ord)-1; i < j; i, j = i+1, j-1 {
+		ord[i], ord[j] = ord[j], ord[i]
+	}
+	return ord
+}
+
+// BFSOrder returns the plain BFS visit order of g, each component seeded
+// from a minimum-degree node (ties by ID) and neighbors visited in
+// adjacency-list order. It is the cheap fallback for graphs too dense
+// for RCM's neighbor sort to pay off.
+func BFSOrder(g *G) []int {
+	return traversalOrder(g, false)
+}
+
+// traversalOrder is the shared BFS skeleton of RCMOrder and BFSOrder:
+// components are discovered in ascending (degree, ID) order of their
+// seeds — a counting sort over degrees, so seeding costs O(n + Δ) — and
+// sortNbrs selects the Cuthill–McKee neighbor ordering.
+func traversalOrder(g *G, sortNbrs bool) []int {
+	n := g.N()
+	// Counting-sort the nodes by degree; scanning v ascending keeps the
+	// sort stable, so ties break by ID.
+	count := make([]int, g.MaxDegree()+1)
+	for v := 0; v < n; v++ {
+		count[g.Deg(v)]++
+	}
+	pos := make([]int, len(count))
+	for d := 1; d < len(count); d++ {
+		pos[d] = pos[d-1] + count[d-1]
+	}
+	byDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		byDeg[pos[g.Deg(v)]] = v
+		pos[g.Deg(v)]++
+	}
+
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var nbuf []int
+	for _, s := range byDeg {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		head := len(order)
+		order = append(order, s)
+		for head < len(order) {
+			v := order[head]
+			head++
+			nbuf = nbuf[:0]
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					nbuf = append(nbuf, u)
+				}
+			}
+			if sortNbrs {
+				// Insertion sort on (degree, ID): the lists are at most
+				// rcmDegreeCap long and typically tiny, and an inline
+				// sort avoids a sort.Slice closure allocation per
+				// visited node.
+				for i := 1; i < len(nbuf); i++ {
+					x := nbuf[i]
+					dx := g.Deg(x)
+					j := i - 1
+					for j >= 0 && (g.Deg(nbuf[j]) > dx || (g.Deg(nbuf[j]) == dx && nbuf[j] > x)) {
+						nbuf[j+1] = nbuf[j]
+						j--
+					}
+					nbuf[j+1] = x
+				}
+			}
+			order = append(order, nbuf...)
+		}
+	}
+	return order
+}
+
+// Bandwidth returns the labeling bandwidth of g under the given order
+// (max over edges of the distance between the endpoints' positions), the
+// quantity RCM minimizes heuristically; 0 for edgeless graphs. order
+// follows the LocalityOrder convention (order[i] = node at position i);
+// a nil order means the identity labeling.
+func Bandwidth(g *G, order []int) int {
+	posOf := make([]int, g.N())
+	if order == nil {
+		for v := range posOf {
+			posOf[v] = v
+		}
+	} else {
+		for i, v := range order {
+			posOf[v] = i
+		}
+	}
+	bw := 0
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			d := posOf[v] - posOf[u]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkPerm asserts ord is a permutation of [0, n).
+func checkPerm(t *testing.T, ord []int, n int) {
+	t.Helper()
+	if len(ord) != n {
+		t.Fatalf("order has %d entries, want %d", len(ord), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range ord {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("order %v is not a permutation of [0,%d)", ord, n)
+		}
+		seen[v] = true
+	}
+}
+
+// shuffledPath returns a path whose nodes carry random labels, plus the
+// underlying Hamiltonian order.
+func shuffledPath(n int, seed int64) *G {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustEdge(perm[i], perm[i+1])
+	}
+	return g
+}
+
+func TestOrdersArePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := map[string]*G{
+		"empty":    New(0),
+		"single":   New(1),
+		"isolated": New(5),
+		"path":     shuffledPath(40, 1),
+		"random":   randomSimple(rng, 60, 0.1),
+		"dense":    randomSimple(rng, 30, 0.8),
+	}
+	for name, g := range graphs {
+		checkPerm(t, RCMOrder(g), g.N())
+		checkPerm(t, BFSOrder(g), g.N())
+		checkPerm(t, LocalityOrder(g), g.N())
+		if name == "path" || name == "random" {
+			// Deterministic: same graph, same order.
+			a, b := RCMOrder(g), RCMOrder(g)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: RCMOrder not deterministic at %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+func randomSimple(rng *rand.Rand, n int, p float64) *G {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// TestRCMPathBandwidth: on any path, RCM must recover the Hamiltonian
+// order exactly — bandwidth 1 — no matter how scrambled the labels are.
+func TestRCMPathBandwidth(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := shuffledPath(200, seed)
+		if bw := Bandwidth(g, RCMOrder(g)); bw != 1 {
+			t.Fatalf("seed %d: RCM bandwidth on a path = %d, want 1", seed, bw)
+		}
+	}
+}
+
+// TestRCMReducesBandwidth: on a randomly-labeled sparse graph the RCM
+// order must not be worse than the identity labeling (it is the whole
+// point of the pass).
+func TestRCMReducesBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomSimple(rng, 300, 0.01)
+	id := Bandwidth(g, nil)
+	rcm := Bandwidth(g, RCMOrder(g))
+	if rcm > id {
+		t.Fatalf("RCM bandwidth %d worse than identity %d", rcm, id)
+	}
+}
+
+// TestComponentSeedsAreMinDegree: the first node of each component's BFS
+// must have the component's minimum degree.
+func TestComponentSeedsAreMinDegree(t *testing.T) {
+	// Two components: a star (min degree 1 at the leaves) and a triangle.
+	g := New(7)
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	g.MustEdge(0, 3)
+	g.MustEdge(4, 5)
+	g.MustEdge(5, 6)
+	g.MustEdge(6, 4)
+	ord := BFSOrder(g)
+	comp, _ := g.ConnectedComponents()
+	seenComp := map[int]bool{}
+	for _, v := range ord {
+		c := comp[v]
+		if seenComp[c] {
+			continue
+		}
+		seenComp[c] = true
+		// v is this component's seed: no member may have smaller degree.
+		for u := 0; u < g.N(); u++ {
+			if comp[u] == c && g.Deg(u) < g.Deg(v) {
+				t.Fatalf("component %d seeded at %d (deg %d) but %d has deg %d", c, v, g.Deg(v), u, g.Deg(u))
+			}
+		}
+	}
+}
+
+// TestLocalityOrderDenseFallback: above the degree cap LocalityOrder must
+// agree with BFSOrder (the RCM neighbor sort is skipped).
+func TestLocalityOrderDenseFallback(t *testing.T) {
+	g := New(600)
+	for v := 1; v < 600; v++ {
+		g.MustEdge(0, v) // star with Δ = 599 > rcmDegreeCap
+	}
+	lo, bfs := LocalityOrder(g), BFSOrder(g)
+	for i := range lo {
+		if lo[i] != bfs[i] {
+			t.Fatalf("dense fallback diverges from BFSOrder at %d", i)
+		}
+	}
+}

@@ -1,5 +1,6 @@
 // Package exp is the experiment harness: one runner per experiment
-// (E1–E13, DESIGN.md §4 plus the runtime and repair-tail additions), each
+// (E1–E14, DESIGN.md §4 plus the runtime, repair-tail and locality
+// additions), each
 // producing a Table whose rows cmd/benchsuite prints and EXPERIMENTS.md
 // records. bench_test.go wraps the same runners in testing.B benchmarks so
 // `go test -bench=.` regenerates every table.

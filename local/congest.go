@@ -20,6 +20,7 @@ type MessageStats struct {
 	MaxRound     int // round in which the largest message was sent
 	RoundsActive int // rounds in which at least one message was sent
 	Dropped      int // messages staged for already-halted receivers (never delivered)
+	Truncated    int // messages whose size estimate hit the reflection depth cap (undercounted; see maxEstimateDepth)
 }
 
 // EnableMessageStats turns on message-size accounting for subsequent
@@ -54,8 +55,9 @@ func (net *Network) recordMessages() {
 						continue
 					}
 					any = true
-					sz := estimateSize(reflect.ValueOf(msg), 0)
-					net.record(sz, ports[p])
+					var truncated bool
+					sz := estimateSize(reflect.ValueOf(msg), 0, &truncated)
+					net.record(sz, ports[p], truncated)
 				}
 			}
 			if c.nInts > 0 {
@@ -64,7 +66,7 @@ func (net *Network) recordMessages() {
 						continue
 					}
 					any = true
-					net.record(intMsgBytes, ports[p])
+					net.record(intMsgBytes, ports[p], false)
 				}
 			}
 		}
@@ -74,10 +76,15 @@ func (net *Network) recordMessages() {
 	}
 }
 
-// record accounts one staged message of sz bytes headed for node to.
-func (net *Network) record(sz, to int) {
+// record accounts one staged message of sz bytes headed for node to
+// (an internal index; it never leaves this accounting). truncated marks
+// a size estimate that hit the reflection depth cap.
+func (net *Network) record(sz, to int, truncated bool) {
 	net.stats.Messages++
 	net.stats.TotalBytes += sz
+	if truncated {
+		net.stats.Truncated++
+	}
 	if sz > net.stats.MaxBytes {
 		net.stats.MaxBytes = sz
 		// The round counter has not been incremented for the closing
@@ -89,13 +96,33 @@ func (net *Network) record(sz, to int) {
 	}
 }
 
+// maxEstimateDepth caps the reflection walk of estimateSize, defending
+// against cyclic structures (a linked ring would otherwise never
+// terminate). A subtree at the cap cannot be measured, so it is charged
+// truncatedSubtreeBytes — a conservative floor, every real value costs
+// at least that once unwrapped — and the message is counted in
+// MessageStats.Truncated so undercounted totals are visible instead of
+// silent.
+const maxEstimateDepth = 12
+
+// truncatedSubtreeBytes is the flat conservative charge for a subtree
+// below maxEstimateDepth: the size of one word-sized scalar, the
+// smallest payload a non-empty subtree can serialize to.
+const truncatedSubtreeBytes = 8
+
 // estimateSize walks a value and estimates its wire size in bytes: the
 // payload a real implementation would serialize. Pointers and interfaces
 // unwrap; maps and slices sum elements plus per-entry overhead. Depth is
-// capped defensively against cyclic structures.
-func estimateSize(v reflect.Value, depth int) int {
-	if depth > 12 || !v.IsValid() {
+// capped at maxEstimateDepth; truncated is set when the cap was hit, and
+// the capped subtree is charged truncatedSubtreeBytes instead of being
+// dropped.
+func estimateSize(v reflect.Value, depth int, truncated *bool) int {
+	if !v.IsValid() {
 		return 0
+	}
+	if depth > maxEstimateDepth {
+		*truncated = true
+		return truncatedSubtreeBytes
 	}
 	switch v.Kind() {
 	case reflect.Bool:
@@ -113,28 +140,28 @@ func estimateSize(v reflect.Value, depth int) int {
 	case reflect.Slice, reflect.Array:
 		sz := 4 // length prefix
 		for i := 0; i < v.Len(); i++ {
-			sz += estimateSize(v.Index(i), depth+1)
+			sz += estimateSize(v.Index(i), depth+1, truncated)
 		}
 		return sz
 	case reflect.Map:
 		sz := 4
 		iter := v.MapRange()
 		for iter.Next() {
-			sz += estimateSize(iter.Key(), depth+1)
-			sz += estimateSize(iter.Value(), depth+1)
+			sz += estimateSize(iter.Key(), depth+1, truncated)
+			sz += estimateSize(iter.Value(), depth+1, truncated)
 		}
 		return sz
 	case reflect.Struct:
 		sz := 0
 		for i := 0; i < v.NumField(); i++ {
-			sz += estimateSize(v.Field(i), depth+1)
+			sz += estimateSize(v.Field(i), depth+1, truncated)
 		}
 		return sz
 	case reflect.Ptr, reflect.Interface:
 		if v.IsNil() {
 			return 1
 		}
-		return 1 + estimateSize(v.Elem(), depth+1)
+		return 1 + estimateSize(v.Elem(), depth+1, truncated)
 	default:
 		return 8
 	}

@@ -48,6 +48,23 @@
 // arrays indexed by directed-edge slot, so delivering a round of small
 // messages streams a few compact arrays instead of walking node objects.
 //
+// # Cache-locality relabeling
+//
+// Because every engine table is indexed by node (or by the node's
+// directed-edge slots), the memory distance between two adjacent nodes'
+// slots is the difference of their positions in the tables. NewNetwork
+// therefore computes a locality order of the graph (reverse Cuthill–McKee
+// seeded from minimum-degree nodes, graph.LocalityOrder) and lays every
+// internal table out in that order, so stepping and delivery walk
+// near-sequential memory even when the caller's node IDs are scattered
+// arbitrarily. The relabeling is invisible: a translation layer (two flat
+// arrays, applied exactly once at the API boundary) keeps every
+// observable surface — Ctx.ID, Ctx.Rand seeding, Run/RunStepped output
+// order, RunWithInput input order, port numbering, DeadSend records,
+// MessageStats — in the caller's external IDs, so outputs are
+// byte-identical with relabeling on or off. SetRelabel is the ablation
+// hook (and E14 measures the effect).
+//
 // # Typed small-integer fast path
 //
 // Most protocols in this repository ship nothing but small integers.
@@ -89,7 +106,8 @@ type NodeFunc func(ctx *Ctx)
 
 // Ctx is a node's interface to the network during a run.
 type Ctx struct {
-	id     int
+	id     int // external (caller-visible) node ID
+	iid    int // internal (table-order) index; == id without relabeling
 	deg    int
 	n      int
 	maxDeg int
@@ -324,11 +342,20 @@ type RunStats struct {
 }
 
 // Network runs node programs over a graph.
+//
+// Internally nodes are stored in a cache-locality order (see the package
+// doc); every field below that is indexed by node or by directed-edge
+// slot uses internal indices. The extID/intID arrays translate at the
+// API boundary and are nil when the locality order is the identity (or
+// relabeling is ablated), in which case internal == external.
 type Network struct {
 	g     *graph.G
-	ports [][]int   // ports[v][p] = neighbor on port p (== g.Neighbors(v))
+	ports [][]int   // ports[v][p] = internal neighbor on port p of internal node v
 	rev   [][]int32 // rev[v][p] = port index of v on ports[v][p]'s side
 	seed  int64
+
+	extID []int32 // extID[i] = external ID of internal node i; nil if identity
+	intID []int32 // intID[v] = internal index of external node v; nil if identity
 
 	// Flat directed-edge tables: slot off[v]+p is port p of node v.
 	// Delivery works entirely on these (plus the per-run lanes below), so
@@ -336,6 +363,7 @@ type Network struct {
 	off       []int   // off[v] = first slot of v; len n+1
 	portsFlat []int32 // portsFlat[off[v]+p] = neighbor
 	revFlat   []int32 // revFlat[off[v]+p] = reverse port
+	slotFlat  []int32 // slotFlat[off[v]+p] = off[neighbor] + reverse port, the receiver's lane slot; nil if slots exceed int32
 
 	// Per-run message lanes and receiver flags, indexed by slot (lanes)
 	// or node (flags). recvAny/recvInt are set by delivery workers and
@@ -357,6 +385,8 @@ type Network struct {
 	nworkers  int             // worker pool size (stepping and delivery)
 	cursor    atomic.Int64    // next batch index during a parallel phase
 	segment   func(*Ctx) bool // current step phase's segment function
+
+	noHalts bool // no node has halted yet this run: delivery skips the haltSeg checks
 
 	stats     *MessageStats // non-nil when EnableMessageStats was called
 	trackDead bool          // record sends to halted neighbors
@@ -380,10 +410,39 @@ func SetStrictDeadSends(on bool) { strictDead.Store(on) }
 // StrictDeadSends reports the current package default.
 func StrictDeadSends() bool { return strictDead.Load() }
 
+// relabelOff ablates the locality relabeling for networks created
+// afterwards; the zero value means relabeling is ON (the default).
+var relabelOff atomic.Bool
+
+// SetRelabel toggles the cache-locality node relabeling (on by default)
+// for networks created afterwards. Relabeling is a memory-layout detail
+// with no observable effect — every public surface reports external IDs
+// and outputs are byte-identical either way — so the only reason to turn
+// it off is ablation measurement (experiment E14 does exactly that).
+func SetRelabel(on bool) { relabelOff.Store(!on) }
+
+// RelabelEnabled reports the current package default.
+func RelabelEnabled() bool { return !relabelOff.Load() }
+
+// Relabeled reports whether this network's internal tables actually use
+// a non-identity locality order (false when relabeling was ablated or
+// the computed order was already the identity).
+func (net *Network) Relabeled() bool { return net.extID != nil }
+
+// toExt translates an internal node index to the external ID every
+// public surface reports; identity when the network is not relabeled.
+func (net *Network) toExt(i int) int {
+	if net.extID == nil {
+		return i
+	}
+	return int(net.extID[i])
+}
+
 // NewNetwork prepares a network over g with the given randomness seed.
-// Construction is O(n + Σ deg): directed edges are bucketed by their head
-// node, then each bucket is resolved against a scratch port index, so even
-// a clique builds in time linear in its edge count.
+// Construction is O(n + Σ deg) plus the locality-order pass (BFS-shaped;
+// see graph.LocalityOrder): directed edges are bucketed by their head
+// node, then each bucket is resolved against a scratch port index, so
+// even a clique builds in time linear in its edge count.
 func NewNetwork(g *graph.G, seed int64) *Network {
 	n := g.N()
 	net := &Network{g: g, seed: seed, intPath: true}
@@ -391,11 +450,49 @@ func NewNetwork(g *graph.G, seed int64) *Network {
 		net.trackDead = true
 		net.strict = true
 	}
+	if !relabelOff.Load() && n > 1 {
+		ord := graph.LocalityOrder(g)
+		// Adopt the order only when it strictly improves the labeling
+		// bandwidth: RCM reverses an already-sequential labeling (equal
+		// bandwidth), and paying the translation tables for an order
+		// that is no more local than the caller's would cost build time
+		// and memory for zero delivery benefit.
+		if graph.Bandwidth(g, ord) < graph.Bandwidth(g, nil) {
+			net.extID = make([]int32, n)
+			net.intID = make([]int32, n)
+			for i, v := range ord {
+				net.extID[i] = int32(v)
+				net.intID[v] = int32(i)
+			}
+		}
+	}
 	net.ports = make([][]int, n)
 	sum := 0
-	for v := 0; v < n; v++ {
-		net.ports[v] = g.Neighbors(v)
-		sum += len(net.ports[v])
+	if net.extID == nil {
+		for v := 0; v < n; v++ {
+			net.ports[v] = g.Neighbors(v)
+			sum += len(net.ports[v])
+		}
+	} else {
+		// Internal adjacency: node i's port p leads to the internal index
+		// of g.Neighbors(extID[i])[p] — the port numbering every node
+		// observes is exactly the external adjacency-list order, only the
+		// stored endpoints are internal. One flat backing array keeps the
+		// lists themselves contiguous in internal order.
+		for v := 0; v < n; v++ {
+			sum += g.Deg(v)
+		}
+		flat := make([]int, sum)
+		pos := 0
+		for i := 0; i < n; i++ {
+			nbrs := g.Neighbors(int(net.extID[i]))
+			lst := flat[pos : pos+len(nbrs) : pos+len(nbrs)]
+			for p, u := range nbrs {
+				lst[p] = int(net.intID[u])
+			}
+			net.ports[i] = lst
+			pos += len(nbrs)
+		}
 	}
 
 	// off[v] = index of v's first directed edge in the flat arrays.
@@ -438,6 +535,19 @@ func NewNetwork(g *graph.G, seed int64) *Network {
 		}
 		for i := off[u]; i < off[u+1]; i++ {
 			net.rev[bufV[i]][bufP[i]] = scratch[bufV[i]]
+		}
+	}
+
+	// Precomputed receiver slots: delivering port p of node v writes lane
+	// slot off[u] + rev, both already known here, so the hot loop reads
+	// one sequential int32 instead of chasing off[u] through a scattered
+	// 8-byte table. Slots only fit int32 when the directed edge count
+	// does; beyond that (a >2^31-edge graph) delivery falls back to the
+	// two-table lookup.
+	if sum <= 1<<31-1 {
+		net.slotFlat = make([]int32, sum)
+		for i, u := range net.portsFlat {
+			net.slotFlat[i] = int32(off[u]) + net.revFlat[i]
 		}
 	}
 
@@ -600,14 +710,20 @@ func RunStepped[S any](net *Network, p Stepped[S]) []any {
 // follows the RunWithInput contract.
 func RunSteppedWithInput[S any](net *Network, p Stepped[S], inputs []any) []any {
 	net.setup(inputs)
+	// States are indexed by internal node, so a batch's step sweep walks
+	// this array sequentially.
 	states := make([]S, len(net.ctxs))
-	init := func(c *Ctx) bool { return p.Init(c, &states[c.id]) }
-	step := func(c *Ctx) bool { return p.Step(c, &states[c.id]) }
+	init := func(c *Ctx) bool { return p.Init(c, &states[c.iid]) }
+	step := func(c *Ctx) bool { return p.Step(c, &states[c.iid]) }
 	return net.runRounds(init, step)
 }
 
 // setup prepares the per-run state: contexts, flat message lanes,
-// receiver flags and batches.
+// receiver flags and batches — and resets every piece of bookkeeping a
+// previous run on the same network may have left behind (round counter,
+// run stats, message-stat counters; the per-batch dead-send logs and
+// halt segments are rebuilt below), so consecutive runs never leak state
+// into each other's reports.
 func (net *Network) setup(inputs []any) {
 	n := net.g.N()
 	if inputs != nil && len(inputs) != n {
@@ -615,6 +731,10 @@ func (net *Network) setup(inputs []any) {
 	}
 	maxDeg := net.g.MaxDegree()
 	net.rounds = 0
+	net.lastRun = RunStats{}
+	if net.stats != nil {
+		*net.stats = MessageStats{}
+	}
 
 	total := net.off[n]
 	net.ctxs = make([]Ctx, n)
@@ -629,7 +749,8 @@ func (net *Network) setup(inputs []any) {
 	net.haltSeg = make([]int32, n)
 	for v := 0; v < n; v++ {
 		c := &net.ctxs[v]
-		c.id = v
+		c.id = net.toExt(v)
+		c.iid = v
 		c.n = n
 		c.maxDeg = maxDeg
 		c.net = net
@@ -642,7 +763,7 @@ func (net *Network) setup(inputs []any) {
 		c.inHas = net.inHas[lo:hi:hi]
 		c.outHas = net.outHas[lo:hi:hi]
 		if inputs != nil {
-			c.input = inputs[v]
+			c.input = inputs[c.id]
 		}
 	}
 
@@ -757,6 +878,10 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 			net.recordMessages()
 		}
 		if senders > 0 {
+			// While every node is still running no receiver can be halted,
+			// so delivery skips the per-message haltSeg lookups entirely
+			// (published to the helpers by the phase channel send).
+			net.noHalts = running == n
 			phase(phaseDeliver, senders)
 		}
 		net.rounds++
@@ -769,7 +894,7 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 
 	outs := make([]any, n)
 	for v := 0; v < n; v++ {
-		outs[v] = net.ctxs[v].output
+		outs[net.ctxs[v].id] = net.ctxs[v].output
 	}
 	wall := time.Since(start)
 	net.lastRun = RunStats{Nodes: n, Rounds: net.rounds, WallTime: wall}
@@ -851,6 +976,12 @@ func clearBytes(h []byte) {
 // write the same slot; the receiver flags are atomic because distinct
 // senders may share a receiver.
 func (net *Network) deliverBatch(b *batch) {
+	// checkHalt is false while no node in the network has halted: the
+	// haltSeg lookup is then provably always zero, so the hot loops skip
+	// one scattered read per message. slotFlat folds the receiver's
+	// off[u]+rev slot computation into one sequential int32 read.
+	checkHalt := !net.noHalts
+	sf := net.slotFlat
 	for _, id := range b.senders {
 		c := &net.ctxs[id]
 		base := net.off[id]
@@ -862,13 +993,18 @@ func (net *Network) deliverBatch(b *batch) {
 				}
 				out[p] = nil
 				u := net.portsFlat[base+p]
-				if net.haltSeg[u] != 0 {
+				if checkHalt && net.haltSeg[u] != 0 {
 					if net.trackDead {
-						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: int(u), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
+						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: net.toExt(int(u)), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
 					}
 					continue
 				}
-				slot := net.off[u] + int(net.revFlat[base+p])
+				var slot int
+				if sf != nil {
+					slot = int(sf[base+p])
+				} else {
+					slot = net.off[u] + int(net.revFlat[base+p])
+				}
 				net.inBoxed[slot] = msg
 				if !net.recvAny[u].Load() {
 					net.recvAny[u].Store(true)
@@ -884,13 +1020,18 @@ func (net *Network) deliverBatch(b *batch) {
 				}
 				oh[p] = 0
 				u := net.portsFlat[base+p]
-				if net.haltSeg[u] != 0 {
+				if checkHalt && net.haltSeg[u] != 0 {
 					if net.trackDead {
-						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: int(u), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
+						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: net.toExt(int(u)), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
 					}
 					continue
 				}
-				slot := net.off[u] + int(net.revFlat[base+p])
+				var slot int
+				if sf != nil {
+					slot = int(sf[base+p])
+				} else {
+					slot = net.off[u] + int(net.revFlat[base+p])
+				}
 				net.inInt[slot] = c.outInt[p]
 				net.inHas[slot] = 1
 				if !net.recvInt[u].Load() {
