@@ -1,4 +1,4 @@
-// Command benchsuite runs the experiment suite E1–E14 (DESIGN.md §4) at
+// Command benchsuite runs the experiment suite E1–E15 (DESIGN.md §4) at
 // full scale and prints every table as markdown — the exact content
 // EXPERIMENTS.md records. Use -quick for a smoke-scale pass and -only to
 // select individual experiments. -strict turns any message staged for a
@@ -9,7 +9,11 @@
 // beyond -maxregress at the largest common scale. E14 is the
 // cache-locality relabeling ablation; -localityjson serializes its report
 // (BENCH_locality.json), and under -strict the run fails if relabeling on
-// delivers fewer rr4 rounds/s than relabeling off at the largest n.
+// delivers fewer rr4 rounds/s than relabeling off at the largest n. E15 is
+// the tracer-overhead measurement; -overheadjson serializes its report
+// (BENCH_overhead.json), and under -strict the run fails if full tracing
+// costs more than 10% throughput. -cpuprofile/-memprofile write pprof
+// profiles of the suite itself.
 //
 //	go run ./cmd/benchsuite                  # full suite (minutes)
 //	go run ./cmd/benchsuite -quick           # smoke scale (seconds)
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	"deltacolor/internal/exp"
+	"deltacolor/internal/obs"
 )
 
 func main() {
@@ -42,8 +47,17 @@ func main() {
 		strict     = flag.Bool("strict", false, "fail hard on dead sends (messages staged for halted neighbors)")
 		baseline   = flag.String("baseline", "", "compare the E12 report against this baseline JSON (implies running E12)")
 		maxRegress = flag.Float64("maxregress", 0.30, "max tolerated rounds/s regression vs -baseline (fraction)")
+		ovhJSON    = flag.String("overheadjson", "", "write the E15 tracer-overhead report to this path (implies running E15)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile at suite end to this path")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -136,8 +150,31 @@ func main() {
 		}
 		writeReport(*locJSON, "localityjson", rep)
 	}
+	// E15 mirrors E14: run once when selected, optionally serialized, and
+	// gated under -strict (full tracing must cost <= 10% throughput).
+	if len(want) == 0 || want["E15"] || *ovhJSON != "" {
+		t0 := time.Now()
+		rep := exp.TracerOverhead(cfg)
+		emit("E15", rep.Table(), t0)
+		if *strict {
+			if err := exp.OverheadGate(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "tracer overhead gate OK (full tracing <= 10% cost)")
+		}
+		writeReport(*ovhJSON, "overheadjson", rep)
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
+		os.Exit(1)
+	}
+	if err := stopCPU(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteHeapProfile(*memProfile); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "suite done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -21,6 +21,8 @@ import (
 	"deltacolor"
 	"deltacolor/graph"
 	"deltacolor/graph/gen"
+	"deltacolor/internal/obs"
+	"deltacolor/local"
 	"deltacolor/verify"
 )
 
@@ -44,8 +46,23 @@ func main() {
 		stats   = flag.Bool("stats", false, "print graph statistics (degree histogram, girth, diameter)")
 		phases  = flag.Bool("phases", false, "print per-phase round accounting")
 		quiet   = flag.Bool("q", false, "print only the summary line")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event file (open in ui.perfetto.dev) to this path")
+		traceJSONL = flag.String("tracejsonl", "", "write the trace as compact JSONL to this path")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+	tracer := local.TraceOff
+	if *traceOut != "" || *traceJSONL != "" {
+		tracer = local.TraceFull
+	}
+	tr := obs.InstallTracer(tracer)
 
 	g, err := buildGraph(*inFile, *genName, *n, *d, *rows, *cols, *dim, *p, *k, *c, *seed)
 	if err != nil {
@@ -67,17 +84,36 @@ func main() {
 		}
 	}
 
+	finishProfiles := func() {
+		if err := stopCPU(); err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			fatal(err)
+		}
+	}
+
 	alg, run, err := parseAlg(*algName)
 	if err != nil {
 		fatal(err)
 	}
 	if !run {
+		finishProfiles()
 		return
 	}
 
 	res, err := deltacolor.Color(g, deltacolor.Options{Algorithm: alg, Seed: *seed})
 	if err != nil {
 		fatal(err)
+	}
+	finishProfiles()
+	if err := obs.WriteTraces(tr, res.Span, *traceOut, *traceJSONL); err != nil {
+		fatal(err)
+	}
+	if tr != nil && !*quiet {
+		c := tr.Counters()
+		fmt.Printf("trace: runs=%d engine_rounds=%d msgs=%d (int=%d boxed=%d) drops=%d\n",
+			c.Runs, c.Rounds, c.Messages(), c.IntMessages, c.BoxedMessages, c.Drops)
 	}
 	if err := verify.DeltaColoring(g, res.Colors, res.Delta); err != nil {
 		fatal(fmt.Errorf("result failed verification: %w", err))

@@ -106,6 +106,44 @@ type Result struct {
 	// (scheduling + execution per batch), in execution order across every
 	// engine invocation of the run. len(RepairBatchRounds) == RepairBatches.
 	RepairBatchRounds []int
+
+	// Span is the run's nested timeline (pipeline → phase → primitive),
+	// collected only when a tracer is installed process-wide with
+	// local.SetDefaultTracer before the Color call; nil otherwise. Export
+	// it with local.WriteChromeTrace / local.WriteTraceJSONL via
+	// Tracer.Dump.
+	Span *local.Span
+}
+
+// Snapshot is the counters view a monitoring endpoint (the future colord
+// server) exposes for a traced sequence of runs: the engine's cumulative
+// counters plus the repair activity of the completed colorings folded in
+// with AddRun.
+type Snapshot struct {
+	Engine        local.Counters `json:"engine"`
+	Colorings     int64          `json:"colorings"`
+	RepairNodes   int64          `json:"repair_nodes"`
+	RepairBatches int64          `json:"repair_batches"`
+}
+
+// AddRun folds one completed coloring into the snapshot.
+func (s *Snapshot) AddRun(r *Result) {
+	s.Colorings++
+	s.RepairNodes += int64(r.Repairs)
+	s.RepairBatches += int64(r.RepairBatches)
+}
+
+// TakeSnapshot captures the tracer's counters (tr may be nil — engine
+// counters stay zero) plus the given results' repair activity.
+func TakeSnapshot(tr *local.Tracer, results ...*Result) Snapshot {
+	var s Snapshot
+	if tr != nil {
+		s.Engine = tr.Counters()
+	}
+	for _, r := range results {
+		s.AddRun(r)
+	}
+	return s
 }
 
 // Errors re-exported for matching with errors.Is.
@@ -211,6 +249,7 @@ func Color(g *graph.G, opts Options) (*Result, error) {
 			Repairs:           res.Stuck,
 			RepairBatches:     res.RepairBatches,
 			RepairBatchRounds: res.RepairBatchRounds,
+			Span:              res.Span,
 		}, nil
 	default:
 		return nil, &OptionError{Field: "Algorithm", Value: alg, Reason: "unknown algorithm"}
@@ -227,5 +266,6 @@ func fromCore(res *core.Result, alg Algorithm) *Result {
 		Algorithm:         alg,
 		RepairBatches:     res.RepairBatches,
 		RepairBatchRounds: res.RepairBatchRounds,
+		Span:              res.Span,
 	}
 }

@@ -34,6 +34,9 @@ type Result struct {
 	// count and per-batch charged rounds of the token-walk repair engine.
 	RepairBatches     int
 	RepairBatchRounds []int
+	// Span is the run's nested timeline, collected only when a default
+	// tracer is installed (local.SetDefaultTracer); nil otherwise.
+	Span *local.Span
 }
 
 // Color computes a Δ-coloring of a nice graph with the baseline algorithm:
@@ -50,6 +53,9 @@ func Color(g *graph.G, seed int64) (*Result, error) {
 		return nil, fmt.Errorf("baseline: Δ=%d < 3", delta)
 	}
 	acct := &local.Accountant{}
+	if tr := local.DefaultTracer(); tr != nil {
+		acct.StartSpans("baseline", tr)
+	}
 	n := g.N()
 
 	net := local.NewNetwork(g, seed)
@@ -107,12 +113,14 @@ func Color(g *graph.G, seed int64) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("baseline: token walks: %w", err)
 		}
+		acct.Begin("token-walks")
 		for bi, b := range rres.Batches {
 			if b.SchedRounds > 0 {
 				acct.Charge(fmt.Sprintf("token-sched[%d]", bi), b.SchedRounds)
 			}
 			acct.Charge(fmt.Sprintf("token-batch[%d]", bi), b.Rounds)
 		}
+		acct.End()
 	}
 
 	if err := dist.VerifyColoring(g, colors); err != nil {
@@ -134,6 +142,7 @@ func Color(g *graph.G, seed int64) (*Result, error) {
 		out.RepairBatches = len(rres.Batches)
 		out.RepairBatchRounds = rres.BatchRounds()
 	}
+	out.Span = acct.FinishSpans()
 	return out, nil
 }
 

@@ -120,6 +120,12 @@ func Repair(g *graph.G, colors []int, delta int, seed int64) (*BatchResult, erro
 func RepairHoles(g *graph.G, colors []int, holes []int, delta int, seed int64) (*BatchResult, error) {
 	res := &BatchResult{}
 	remaining := dedupeHoles(g, colors, holes)
+	// The quotient builder is shared across iterations so the O(n) owner
+	// table is allocated once, not once per MIS round — with many small
+	// holes the per-iteration cost would otherwise be O(n) against a
+	// shrinking batch (quadratic overall; BenchmarkRepairHolesManySmall
+	// pins the win).
+	var qb *local.QuotientBuilder
 	for iter := 0; len(remaining) > 0; iter++ {
 		if iter > len(holes) {
 			return res, fmt.Errorf("brooks: batch repair made no progress after %d iterations (%d holes left)", iter, len(remaining))
@@ -163,7 +169,10 @@ func RepairHoles(g *graph.G, colors []int, holes []int, delta int, seed int64) (
 		if len(remaining) == 1 {
 			chosen[0] = true
 		} else {
-			qnet := local.QuotientNetwork(g, balls, seed+int64(iter)*1_000_003)
+			if qb == nil {
+				qb = local.NewQuotientBuilder(g)
+			}
+			qnet := qb.Build(balls, seed+int64(iter)*1_000_003)
 			inMIS, misRounds := dist.LubyMIS(qnet, nil)
 			copy(chosen, inMIS)
 			// One ball-exchange pass to discover conflicts, then the MIS

@@ -68,6 +68,20 @@ type Result struct {
 	// invocation order.
 	RepairBatches     int
 	RepairBatchRounds []int
+	// Span is the run's nested timeline (pipeline → phase → primitive),
+	// collected only when a default tracer is installed
+	// (local.SetDefaultTracer); nil otherwise.
+	Span *local.Span
+}
+
+// startSpans opens span collection on acct when a process-wide tracer is
+// installed, returning it (possibly nil) for the closing finishSpans.
+func startSpans(acct *local.Accountant, pipeline string) *local.Tracer {
+	tr := local.DefaultTracer()
+	if tr != nil {
+		acct.StartSpans(pipeline, tr)
+	}
+	return tr
 }
 
 // addRepairStats folds one batched-repair run into the result's stats.
@@ -95,6 +109,7 @@ func Deterministic(g *graph.G, seed int64) (*Result, error) {
 		return nil, err
 	}
 	acct := &local.Accountant{}
+	startSpans(acct, "deterministic")
 	n := g.N()
 
 	// R: B0 members must be far enough apart that Brooks recolorings
@@ -102,6 +117,7 @@ func Deterministic(g *graph.G, seed int64) (*Result, error) {
 	rB := brooks.SearchRadius(n, delta)
 	bigR := 6*rB + 3
 
+	acct.Begin("decompose")
 	rs := DetRulingSetCompute(g, nil, bigR)
 	acct.Charge("ruling-set", rs.Rounds)
 
@@ -119,6 +135,7 @@ func Deterministic(g *graph.G, seed int64) (*Result, error) {
 		}
 	}
 	acct.Charge("layering", s)
+	acct.End()
 
 	colors := make([]int, n)
 	for v := range colors {
@@ -159,5 +176,6 @@ func Deterministic(g *graph.G, seed int64) (*Result, error) {
 	}
 	out.addRepairStats(b0res)
 	out.addRepairStats(rres)
+	out.Span = acct.FinishSpans()
 	return out, nil
 }

@@ -93,6 +93,8 @@ func NewLayerColorer(g *graph.G, delta int, mode ListColorMode, seed int64, acct
 // techniques). Nodes whose list instance turns out infeasible are repaired
 // with the distributed Brooks procedure and counted in repairs.
 func (lc *LayerColorer) ColorLayersReverse(colors []int, layer []int, s int, phase string) (repairs int, err error) {
+	lc.acct.Begin(phase)
+	defer lc.acct.End()
 	for i := s; i >= 1; i-- {
 		active := make([]bool, lc.g.N())
 		any := false
@@ -170,6 +172,8 @@ func RepairUncolored(g *graph.G, colors []int, delta int, seed int64, acct *loca
 // chargeRepairBatches records a batched repair run's per-batch costs under
 // phase names "<prefix>-sched[i]" / "<prefix>-batch[i]".
 func chargeRepairBatches(acct *local.Accountant, prefix string, res *brooks.BatchResult) {
+	acct.Begin(prefix)
+	defer acct.End()
 	for i, b := range res.Batches {
 		if b.SchedRounds > 0 {
 			acct.Charge(fmt.Sprintf("%s-sched[%d]", prefix, i), b.SchedRounds)

@@ -32,8 +32,10 @@ func DeterministicNetDec(g *graph.G, seed int64) (*Result, error) {
 		return nil, err
 	}
 	acct := &local.Accountant{}
+	startSpans(acct, "netdec")
 	n := g.N()
 
+	acct.Begin("decompose")
 	// (1) Network decomposition with beta = Θ(1/log n).
 	beta := 1.0 / math.Max(1, math.Log(float64(n+2)))
 	dec := dist.Decompose(g, nil, beta, seed)
@@ -62,6 +64,7 @@ func DeterministicNetDec(g *graph.G, seed int64) (*Result, error) {
 		}
 	}
 	acct.Charge("layering", s)
+	acct.End()
 
 	colors := make([]int, n)
 	for v := range colors {
@@ -99,6 +102,7 @@ func DeterministicNetDec(g *graph.G, seed int64) (*Result, error) {
 	}
 	out.addRepairStats(b0res)
 	out.addRepairStats(rres)
+	out.Span = acct.FinishSpans()
 	return out, nil
 }
 

@@ -103,6 +103,7 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 	}
 	o := opts.AutoParams(g.N(), delta)
 	acct := &local.Accountant{}
+	startSpans(acct, "randomized")
 	n := g.N()
 	rng := rand.New(rand.NewSource(o.Seed ^ 0x5eed))
 
@@ -113,6 +114,7 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 	lc := NewLayerColorer(g, delta, o.ListMode, o.Seed, acct)
 
 	// ---- Phase I: remove DCCs of radius <= r (phases 1-3). ----
+	acct.Begin("dcc-removal")
 	dccs, _, selRounds := gallai.SelectDCCs(g, o.R)
 	acct.Charge("dcc-select", selRounds)
 
@@ -153,12 +155,15 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 		}
 	}
 
+	acct.End()
+
 	inH := make([]bool, n)
 	for v := 0; v < n; v++ {
 		inH[v] = layerB[v] < 0
 	}
 
 	// ---- Phase II: shattering (phases 4-6). ----
+	acct.Begin("shatter")
 	sh := runMarking(g, inH, delta, o, rng)
 	acct.Charge("marking", o.Backoff+2)
 	for _, v := range sh.marked {
@@ -185,6 +190,7 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 		}
 		repairs += rep
 	}
+	acct.End()
 
 	// ---- Phase III: color happy layers C_{2r}..C_0 (phase 7). ----
 	rep, err := lc.ColorLayersReverse(colors, shiftLayers(layerC), sC+1, "C")
@@ -240,6 +246,7 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 		Repairs: repairs,
 	}
 	out.addRepairStats(rres)
+	out.Span = acct.FinishSpans()
 	return out, nil
 }
 

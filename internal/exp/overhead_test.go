@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func overheadRow(family string, n int, level string, rps, over float64) OverheadRow {
+	return OverheadRow{Family: family, N: n, Edges: 2 * n, Level: level, Rounds: 8,
+		RoundsPerSec: rps, Overhead: over}
+}
+
+func TestOverheadReportRoundTrip(t *testing.T) {
+	rep := &OverheadReport{Schema: OverheadSchema, GoMaxProcs: 1, Quick: true, Seed: 7,
+		Rows: []OverheadRow{
+			overheadRow("path", 10000, "off", 100, 0),
+			overheadRow("path", 10000, "full", 95, 0.05),
+		}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOverheadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Rows[1].Overhead != 0.05 || got.Seed != 7 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	bad := bytes.NewBufferString(`{"schema":"bogus/v9"}`)
+	if _, err := ReadOverheadReport(bad); err == nil {
+		t.Fatal("unknown schema must be rejected")
+	}
+}
+
+func TestOverheadGate(t *testing.T) {
+	ok := &OverheadReport{Schema: OverheadSchema, Rows: []OverheadRow{
+		overheadRow("path", 10000, "off", 100, 0),
+		overheadRow("path", 10000, "full", 50, 0.50), // small n: not gated
+		overheadRow("path", 100000, "off", 80, 0),
+		overheadRow("path", 100000, "counters", 40, 0.50), // counters: not gated
+		overheadRow("path", 100000, "full", 73, 0.0875),
+		overheadRow("rr4", 100000, "off", 60, 0),
+		overheadRow("rr4", 100000, "full", 58, 1.0/30),
+	}}
+	if err := OverheadGate(ok); err != nil {
+		t.Fatalf("within the 10%% budget at largest n, got %v", err)
+	}
+
+	bad := &OverheadReport{Schema: OverheadSchema, Rows: []OverheadRow{
+		overheadRow("path", 100000, "off", 80, 0),
+		overheadRow("path", 100000, "full", 70, 0.125), // -12.5%
+	}}
+	if err := OverheadGate(bad); err == nil {
+		t.Fatal("12.5% overhead at largest n must fail the gate")
+	}
+
+	vacuous := &OverheadReport{Schema: OverheadSchema, Rows: []OverheadRow{
+		overheadRow("path", 100000, "off", 80, 0),
+		overheadRow("path", 10000, "full", 70, 0), // no common largest n
+	}}
+	if err := OverheadGate(vacuous); err == nil {
+		t.Fatal("report with no off/full pair must fail, not pass vacuously")
+	}
+}
+
+// TestTracerOverheadSmoke runs the E15 measurement at a tiny scale and
+// checks the report's shape: every (family, size) case yields one row per
+// trace level, off rows have zero overhead, and throughputs are positive.
+func TestTracerOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 measurement is slow")
+	}
+	rep := TracerOverhead(Config{Quick: true, Seed: 9})
+	if rep.Schema != OverheadSchema || !rep.Quick {
+		t.Fatalf("report header: %+v", rep)
+	}
+	// Quick mode: 2 sizes x 3 families x 3 levels.
+	if len(rep.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.RoundsPerSec <= 0 {
+			t.Fatalf("row %+v has non-positive throughput", r)
+		}
+		if r.Level == "off" && r.Overhead != 0 {
+			t.Fatalf("off row carries overhead %v", r.Overhead)
+		}
+	}
+}

@@ -23,13 +23,18 @@ import (
 	"deltacolor/local"
 )
 
-// RuntimeSchema identifies the BENCH_runtime.json layout. v2 adds the
+// RuntimeSchema identifies the BENCH_runtime.json layout. v2 added the
 // explicit workers column (rounds/s is always measured single-worker for
-// machine comparability) and the GOMAXPROCS-sweep columns.
-const RuntimeSchema = "deltacolor/bench-runtime/v2"
+// machine comparability) and the GOMAXPROCS-sweep columns; v3 adds the
+// reference-loop score that makes the CI delta gate machine-independent
+// (see ReferenceScore).
+const RuntimeSchema = "deltacolor/bench-runtime/v3"
 
-// runtimeSchemaV1 is accepted as a comparison baseline (PR 2 reports).
-const runtimeSchemaV1 = "deltacolor/bench-runtime/v1"
+// Older layouts accepted as comparison baselines (PR 2 / PR 3 reports).
+const (
+	runtimeSchemaV1 = "deltacolor/bench-runtime/v1"
+	runtimeSchemaV2 = "deltacolor/bench-runtime/v2"
+)
 
 // RuntimeRow is one (family, n) measurement.
 type RuntimeRow struct {
@@ -52,11 +57,57 @@ type RuntimeRow struct {
 
 // RuntimeReport is the full E12 output, serialized to BENCH_runtime.json.
 type RuntimeReport struct {
-	Schema     string       `json:"schema"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Quick      bool         `json:"quick"`
-	Seed       int64        `json:"seed"`
-	Rows       []RuntimeRow `json:"rows"`
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
+	// RefScore is the host's reference-loop score (iterations/s of the
+	// fixed loop in ReferenceScore), measured alongside the rows. When both
+	// sides of a comparison carry one, CompareRuntime gates on
+	// rounds/s ÷ RefScore — a machine-independent ratio — instead of raw
+	// rounds/s. Zero in pre-v3 reports.
+	RefScore float64      `json:"ref_score,omitempty"`
+	Rows     []RuntimeRow `json:"rows"`
+}
+
+// refLoopWords sizes the reference loop's walk array: 16 MiB of int32,
+// past any LLC, so the loop mixes cache-missing loads with ALU work in
+// roughly the engine's own proportions.
+const refLoopWords = 1 << 22
+
+// refLoopIters is the fixed iteration count one timed rep executes.
+const refLoopIters = 1 << 22
+
+// ReferenceScore measures the host with a fixed single-threaded loop
+// (xorshift index generation + a dependent load/store walk over a 16 MiB
+// array) and returns its iterations/s, best of three reps. The loop is
+// engine-independent: it never changes with the repository, so the ratio
+// rounds/s ÷ ReferenceScore is comparable across machines and lets the CI
+// benchmark-delta gate stop depending on the runner's absolute speed.
+func ReferenceScore() float64 {
+	buf := make([]int32, refLoopWords)
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		x := uint32(0x9e3779b9)
+		var acc int32
+		for i := 0; i < refLoopIters; i++ {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			j := x & (refLoopWords - 1)
+			acc += buf[j]
+			buf[j] = acc ^ int32(x)
+		}
+		el := time.Since(t0).Seconds()
+		if el <= 0 {
+			continue
+		}
+		if s := float64(refLoopIters) / el; s > best {
+			best = s
+		}
+	}
+	return best
 }
 
 // heartbeat is the uniform scheduler workload: r rounds of broadcast+fold
@@ -122,6 +173,7 @@ func RuntimeThroughput(cfg Config) *RuntimeReport {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      cfg.Quick,
 		Seed:       cfg.Seed,
+		RefScore:   ReferenceScore(),
 	}
 	type c struct {
 		family string
@@ -199,8 +251,8 @@ func (rep *RuntimeReport) Table() *Table {
 			f2(r.BuildMillis), f2(r.RunMillis), f2(r.RoundsPerSec),
 			fmt.Sprintf("%.0f", r.AllocsPerRound), mp)
 	}
-	t.AddNote("GOMAXPROCS=%d, quick=%v; rounds/s measured with one worker (host-comparable), the sweep column with a worker per CPU. Network construction is O(n + Σ deg); a round costs O(workers) park/wake transitions and zero allocations on the int path.",
-		rep.GoMaxProcs, rep.Quick)
+	t.AddNote("GOMAXPROCS=%d, quick=%v, reference-loop score %.3g iters/s; rounds/s measured with one worker (host-comparable), the sweep column with a worker per CPU. Network construction is O(n + Σ deg); a round costs O(workers) park/wake transitions and zero allocations on the int path.",
+		rep.GoMaxProcs, rep.Quick, rep.RefScore)
 	return t
 }
 
@@ -231,7 +283,7 @@ func ReadRuntimeReport(r io.Reader) (*RuntimeReport, error) {
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("runtime report: %w", err)
 	}
-	if rep.Schema != RuntimeSchema && rep.Schema != runtimeSchemaV1 {
+	if rep.Schema != RuntimeSchema && rep.Schema != runtimeSchemaV1 && rep.Schema != runtimeSchemaV2 {
 		return nil, fmt.Errorf("runtime report: unknown schema %q", rep.Schema)
 	}
 	return &rep, nil
@@ -240,10 +292,15 @@ func ReadRuntimeReport(r io.Reader) (*RuntimeReport, error) {
 // CompareRuntime checks cur against a baseline report: for every family
 // present in both, at the largest common n, single-worker rounds/s must
 // not fall more than maxRegress (a fraction, e.g. 0.30) below the
-// baseline. It returns an error describing the first regression, or when
+// baseline. When both reports carry a reference-loop score the comparison
+// is on the machine-independent ratio rounds/s ÷ RefScore, so a baseline
+// recorded on a fast workstation gates correctly on a slow CI runner (and
+// vice versa); pre-v3 baselines without a score fall back to absolute
+// rounds/s. It returns an error describing the first regression, or when
 // the reports share no rows at all — a silently vacuous gate would defeat
 // the point of the CI step.
 func CompareRuntime(cur, base *RuntimeReport, maxRegress float64) error {
+	normalized := cur.RefScore > 0 && base.RefScore > 0
 	type key struct {
 		family string
 		n      int
@@ -266,10 +323,16 @@ func CompareRuntime(cur, base *RuntimeReport, maxRegress float64) error {
 	}
 	for family, r := range largest {
 		b := baseRows[key{family, r.N}]
-		floor := b.RoundsPerSec * (1 - maxRegress)
-		if r.RoundsPerSec < floor {
-			return fmt.Errorf("benchmark delta: %s n=%d regressed: %.2f rounds/s vs baseline %.2f (floor %.2f at -%.0f%%)",
-				family, r.N, r.RoundsPerSec, b.RoundsPerSec, floor, maxRegress*100)
+		curScore, baseScore, unit := r.RoundsPerSec, b.RoundsPerSec, "rounds/s"
+		if normalized {
+			curScore /= cur.RefScore
+			baseScore /= base.RefScore
+			unit = "rounds-per-ref (rounds/s ÷ reference-loop score)"
+		}
+		floor := baseScore * (1 - maxRegress)
+		if curScore < floor {
+			return fmt.Errorf("benchmark delta: %s n=%d regressed: %.4g %s vs baseline %.4g (floor %.4g at -%.0f%%)",
+				family, r.N, curScore, unit, baseScore, floor, maxRegress*100)
 		}
 	}
 	return nil

@@ -43,6 +43,43 @@ func TestCompareRuntime(t *testing.T) {
 	}
 }
 
+// TestCompareRuntimeRefNormalized checks the machine-independence of the
+// v3 gate: when both reports carry a reference-loop score, the comparison
+// is on rounds/s ÷ RefScore, so a baseline from a 2× faster machine does
+// not flag a same-speed-relative current run — and a real relative
+// regression is still caught even when absolute rounds/s went up.
+func TestCompareRuntimeRefNormalized(t *testing.T) {
+	fast := &RuntimeReport{Schema: RuntimeSchema, RefScore: 200, Rows: []RuntimeRow{
+		runtimeRow("path", 10000, 100), // ratio 0.5
+	}}
+	slowSameRatio := &RuntimeReport{Schema: RuntimeSchema, RefScore: 100, Rows: []RuntimeRow{
+		runtimeRow("path", 10000, 48), // ratio 0.48: -4% relative, -52% absolute
+	}}
+	if err := CompareRuntime(slowSameRatio, fast, 0.30); err != nil {
+		t.Fatalf("slower machine at the same ratio must pass: %v", err)
+	}
+	// Without normalization the same pair fails (absolute -52%).
+	noRef := &RuntimeReport{Schema: RuntimeSchema, Rows: slowSameRatio.Rows}
+	if err := CompareRuntime(noRef, &RuntimeReport{Schema: RuntimeSchema, Rows: fast.Rows}, 0.30); err == nil {
+		t.Fatal("absolute fallback should flag the -52% drop")
+	}
+	fastButRegressed := &RuntimeReport{Schema: RuntimeSchema, RefScore: 1000, Rows: []RuntimeRow{
+		runtimeRow("path", 10000, 150), // absolute +50%, ratio 0.15: -70% relative
+	}}
+	if err := CompareRuntime(fastButRegressed, fast, 0.30); err == nil {
+		t.Fatal("relative regression on a faster machine must fail despite higher absolute rounds/s")
+	}
+}
+
+func TestReferenceScorePositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference loop takes ~1s")
+	}
+	if s := ReferenceScore(); s <= 0 {
+		t.Fatalf("reference score = %v, want > 0", s)
+	}
+}
+
 func TestRuntimeReportRoundTripAndV1Baseline(t *testing.T) {
 	rep := &RuntimeReport{Schema: RuntimeSchema, GoMaxProcs: 1, Rows: []RuntimeRow{runtimeRow("path", 1000, 100)}}
 	var buf bytes.Buffer

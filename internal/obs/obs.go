@@ -1,0 +1,95 @@
+// Package obs holds the observability plumbing shared by cmd/deltacolor
+// and cmd/benchsuite: pprof profile lifecycles and tracer install/export
+// around a run.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"deltacolor/local"
+)
+
+// StartCPUProfile starts a CPU profile writing to path and returns the
+// function that stops it and closes the file. With an empty path it is a
+// no-op returning a nil-error stop.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an allocs-inclusive heap profile to path (after
+// a GC, so the live set is accurate). Empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
+// InstallTracer creates a tracer at the given level, installs it as the
+// process-wide default so every network built by the pipelines attaches
+// it, and returns it. Level TraceOff installs nothing and returns nil.
+func InstallTracer(level local.TraceLevel) *local.Tracer {
+	if level <= local.TraceOff {
+		return nil
+	}
+	tr := local.NewTracer(level, 0)
+	local.SetDefaultTracer(tr)
+	return tr
+}
+
+// WriteTraces exports the tracer's dump (with span as the pipeline
+// timeline, may be nil) to the requested files: chromePath in Chrome
+// trace-event JSON, jsonlPath in compact JSONL. Empty paths are skipped.
+func WriteTraces(tr *local.Tracer, span *local.Span, chromePath, jsonlPath string) error {
+	if tr == nil || (chromePath == "" && jsonlPath == "") {
+		return nil
+	}
+	d := tr.Dump(span)
+	write := func(path string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, func(f *os.File) error { return local.WriteChromeTrace(f, d) }); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := write(jsonlPath, func(f *os.File) error { return local.WriteTraceJSONL(f, d) }); err != nil {
+		return fmt.Errorf("trace jsonl: %w", err)
+	}
+	return nil
+}

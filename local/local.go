@@ -311,6 +311,12 @@ type batch struct {
 
 	dead []DeadSend // sends to halted receivers found while delivering
 
+	// Per-round tracing counters, written by deliverBatch only when the
+	// network's tracer counts messages (exactly one worker owns a batch
+	// per phase, so no locks) and drained by the coordinator after the
+	// delivery phase.
+	trInts, trBoxed, trDrops int32
+
 	_ [64]byte
 }
 
@@ -392,6 +398,9 @@ type Network struct {
 	trackDead bool          // record sends to halted neighbors
 	strict    bool          // panic after a Run that recorded dead sends
 	intPath   bool          // int fast path enabled (see SetIntFastPath)
+
+	tracer    *Tracer // round-level tracing (see trace.go); nil = off
+	countMsgs bool    // per-run: tracer wants lane counts from delivery
 }
 
 // strictDead is the package default installed on new networks; see
@@ -445,7 +454,7 @@ func (net *Network) toExt(i int) int {
 // even a clique builds in time linear in its edge count.
 func NewNetwork(g *graph.G, seed int64) *Network {
 	n := g.N()
-	net := &Network{g: g, seed: seed, intPath: true}
+	net := &Network{g: g, seed: seed, intPath: true, tracer: defaultTracer.Load()}
 	if strictDead.Load() {
 		net.trackDead = true
 		net.strict = true
@@ -859,10 +868,31 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 		}
 	}
 
+	// Tracing: a nil tracer costs one pointer check per phase. Counters
+	// mode adds two integer adds per sender inside delivery; full mode
+	// additionally takes two timestamps per phase and writes one record
+	// per round into the preallocated ring — no allocations either way.
+	tr := net.tracer
+	net.countMsgs = tr != nil && tr.level >= TraceCounters
+	full := tr != nil && tr.level >= TraceFull
+	if tr != nil {
+		tr.beginRun()
+	}
+
 	running := n
 	net.segment = init
+	var t0 time.Time
+	if full {
+		t0 = time.Now()
+	}
 	phase(phaseStep, n)
+	if full {
+		// The init segment is not a round; its time lands in the
+		// cumulative counters only.
+		tr.c.StepNanos += time.Since(t0).Nanoseconds()
+	}
 	for {
+		prev := running
 		live, senders := 0, 0
 		for i := range net.batches {
 			b := &net.batches[i]
@@ -871,11 +901,21 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 			live += len(b.live)
 			senders += len(b.senders)
 		}
+		if tr != nil {
+			// Halts folded here happened during the previous step sweep;
+			// the tracer attributes them to the round recorded last.
+			tr.foldHalts(prev - running)
+		}
 		if running == 0 {
 			break
 		}
 		if net.stats != nil {
 			net.recordMessages()
+		}
+		var rt RoundTrace
+		if full {
+			t0 = time.Now()
+			rt.StartNanos = t0.Sub(tr.epoch).Nanoseconds()
 		}
 		if senders > 0 {
 			// While every node is still running no receiver can be halted,
@@ -883,10 +923,36 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 			// (published to the helpers by the phase channel send).
 			net.noHalts = running == n
 			phase(phaseDeliver, senders)
+			if full {
+				rt.DeliverNanos = time.Since(t0).Nanoseconds()
+			}
+		}
+		if net.countMsgs {
+			for i := range net.batches {
+				b := &net.batches[i]
+				rt.IntMsgs += int(b.trInts)
+				rt.BoxedMsgs += int(b.trBoxed)
+				rt.Drops += int(b.trDrops)
+				b.trInts, b.trBoxed, b.trDrops = 0, 0, 0
+			}
 		}
 		net.rounds++
 		net.segment = step
+		if full {
+			t0 = time.Now()
+		}
 		phase(phaseStep, live)
+		if tr != nil {
+			if full {
+				rt.StepNanos = time.Since(t0).Nanoseconds()
+				rt.Round = net.rounds
+				rt.Live = live
+				rt.Senders = senders
+				tr.record(rt)
+			} else {
+				tr.countRound(rt.IntMsgs, rt.BoxedMsgs, rt.Drops)
+			}
+		}
 	}
 	if w > 1 {
 		close(cmd)
@@ -981,11 +1047,15 @@ func (net *Network) deliverBatch(b *batch) {
 	// one scattered read per message. slotFlat folds the receiver's
 	// off[u]+rev slot computation into one sequential int32 read.
 	checkHalt := !net.noHalts
+	count := net.countMsgs
 	sf := net.slotFlat
 	for _, id := range b.senders {
 		c := &net.ctxs[id]
 		base := net.off[id]
 		if c.nBoxed > 0 {
+			if count {
+				b.trBoxed += c.nBoxed
+			}
 			out := c.out
 			for p, msg := range out {
 				if msg == nil {
@@ -994,6 +1064,9 @@ func (net *Network) deliverBatch(b *batch) {
 				out[p] = nil
 				u := net.portsFlat[base+p]
 				if checkHalt && net.haltSeg[u] != 0 {
+					if count {
+						b.trDrops++
+					}
 					if net.trackDead {
 						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: net.toExt(int(u)), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
 					}
@@ -1013,6 +1086,9 @@ func (net *Network) deliverBatch(b *batch) {
 			c.nBoxed = 0
 		}
 		if c.nInts > 0 {
+			if count {
+				b.trInts += c.nInts
+			}
 			oh := c.outHas
 			for p, h := range oh {
 				if h == 0 {
@@ -1021,6 +1097,9 @@ func (net *Network) deliverBatch(b *batch) {
 				oh[p] = 0
 				u := net.portsFlat[base+p]
 				if checkHalt && net.haltSeg[u] != 0 {
+					if count {
+						b.trDrops++
+					}
 					if net.trackDead {
 						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: net.toExt(int(u)), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
 					}
@@ -1046,8 +1125,12 @@ func (net *Network) deliverBatch(b *batch) {
 }
 
 // Accountant aggregates rounds across the phases of a composite algorithm.
+// With StartSpans it additionally collects a nested wall-time timeline
+// (see trace.go); the flat phase list below is unaffected by spans, so
+// round accounting stays byte-identical with tracing on or off.
 type Accountant struct {
 	phases []PhaseStat
+	spans  *spanState // non-nil between StartSpans and FinishSpans
 }
 
 // PhaseStat records the round cost of one named phase.
@@ -1056,9 +1139,15 @@ type PhaseStat struct {
 	Rounds int
 }
 
-// Charge adds rounds under the given phase name.
+// Charge adds rounds under the given phase name. When span collection is
+// active, the charge also becomes a leaf span under the innermost open
+// span, carrying the wall time and engine messages since the previous
+// charge or span boundary.
 func (a *Accountant) Charge(name string, rounds int) {
 	a.phases = append(a.phases, PhaseStat{Name: name, Rounds: rounds})
+	if a.spans != nil {
+		a.chargeSpan(name, rounds)
+	}
 }
 
 // Total returns the summed rounds over all phases.

@@ -21,22 +21,67 @@ import (
 // protocols must not — and do not — depend on, exactly as with the map
 // iteration order of graph.Quotient).
 func QuotientNetwork(parent *graph.G, groups [][]int, seed int64) *Network {
+	return NewQuotientBuilder(parent).Build(groups, seed)
+}
+
+// QuotientBuilder builds quotient networks of one parent graph repeatedly,
+// amortizing the owner table. A fresh QuotientNetwork call pays two O(n)
+// passes over a node-indexed owner array (allocation zeroing plus the
+// reset to "no owner") regardless of how small the groups are; a caller
+// that quotients the same parent once per iteration — the batched Brooks
+// repair engine schedules an MIS over hole balls every iteration — paid
+// that O(n) each time, a quadratic total against shrinking hole counts.
+// The builder keeps the array across Build calls and validates entries
+// with an epoch stamp, so build i>0 touches only the groups' own nodes
+// and edges. Not safe for concurrent use.
+type QuotientBuilder struct {
+	parent *graph.G
+	// first[v] is v's owning group in the current build, valid only when
+	// stamp[v] == epoch — no per-build reset pass.
+	first []int32
+	stamp []int32
+	epoch int32
+}
+
+// NewQuotientBuilder prepares a builder over parent. The O(n) owner-array
+// allocation happens here, once.
+func NewQuotientBuilder(parent *graph.G) *QuotientBuilder {
+	n := parent.N()
+	return &QuotientBuilder{
+		parent: parent,
+		first:  make([]int32, n),
+		stamp:  make([]int32, n),
+	}
+}
+
+// Build constructs the quotient network of the builder's parent under
+// groups — identical output to QuotientNetwork(parent, groups, seed).
+func (b *QuotientBuilder) Build(groups [][]int, seed int64) *Network {
+	parent := b.parent
 	q := len(groups)
 	n := parent.N()
+	b.epoch++
+	if b.epoch == 0 { // wrapped: stale stamps could collide, re-zero once
+		for i := range b.stamp {
+			b.stamp[i] = 0
+		}
+		b.epoch = 1
+	}
+	epoch := b.epoch
 
 	// owner lists per member node: the common case is a single owner,
-	// kept in a flat array; shared members spill into a small map.
-	first := make([]int32, n)
-	for i := range first {
-		first[i] = -1
-	}
+	// kept in the flat epoch-stamped array; shared members spill into a
+	// small map.
+	first := b.first
+	stamp := b.stamp
 	var extra map[int][]int32
 	for gi, grp := range groups {
 		for _, v := range grp {
 			if v < 0 || v >= n {
 				panic(fmt.Sprintf("local: QuotientNetwork: group %d contains node %d outside [0,%d)", gi, v, n))
 			}
-			if first[v] < 0 {
+			if stamp[v] != epoch {
+				stamp[v] = epoch
 				first[v] = int32(gi)
 			} else {
 				if extra == nil {
@@ -67,8 +112,8 @@ func QuotientNetwork(parent *graph.G, groups [][]int, seed int64) *Network {
 				link(gi, int(o))
 			}
 			for _, u := range parent.Neighbors(v) {
-				if o := first[u]; o >= 0 {
-					link(gi, int(o))
+				if stamp[u] == epoch {
+					link(gi, int(first[u]))
 					for _, oo := range extra[u] {
 						link(gi, int(oo))
 					}

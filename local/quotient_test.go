@@ -83,6 +83,65 @@ func TestQuotientNetworkRunsProtocols(t *testing.T) {
 	}
 }
 
+// TestQuotientBuilderReusedMatchesFresh checks that a builder reused
+// across many builds (the batched-repair shape: different group sets over
+// one parent) produces exactly the graph a fresh QuotientNetwork call
+// does, including after groups that exercise the shared-member spill map.
+func TestQuotientBuilderReusedMatchesFresh(t *testing.T) {
+	g := randomGraph(120, 0.05, 11)
+	qb := NewQuotientBuilder(g)
+	groupSets := [][][]int{
+		quotientGroups(g),
+		{{3, 4}, {10, 11, 12}, {40}},
+		{{0, 1, 2}, {2, 3, 4}, {90, 91}}, // overlap again, fresh epoch
+		quotientGroups(g),
+	}
+	for si, groups := range groupSets {
+		want := QuotientNetwork(g, groups, 3).Graph()
+		got := qb.Build(groups, 3).Graph()
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("set %d: got n=%d m=%d, want n=%d m=%d", si, got.N(), got.M(), want.N(), want.M())
+		}
+		for v := 0; v < want.N(); v++ {
+			a := append([]int(nil), want.Neighbors(v)...)
+			b := append([]int(nil), got.Neighbors(v)...)
+			sort.Ints(a)
+			sort.Ints(b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("set %d node %d: neighbors %v vs %v", si, v, b, a)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkQuotientBuild measures the quotient construction over a large
+// parent with a small group set — the batched-repair shape. "fresh" pays
+// the O(n) owner table per build; "reused" amortizes it through the
+// epoch-stamped QuotientBuilder.
+func BenchmarkQuotientBuild(b *testing.B) {
+	g := randomGraph(100_000, 4.0/100_000, 7)
+	var groups [][]int
+	for v := 0; v+1 < g.N(); v += 397 {
+		groups = append(groups, []int{v, v + 1})
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			QuotientNetwork(g, groups, 1)
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		qb := NewQuotientBuilder(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qb.Build(groups, 1)
+		}
+	})
+}
+
 // TestQuotientNetworkSharedMemberAdjacent pins the safety property the
 // anchor ruling set and the batched repair engine both rely on: two groups
 // that share a member are always adjacent in the quotient, so an MIS over
