@@ -1,0 +1,140 @@
+// Command lint runs the project's invariant analyzers (see
+// internal/analysis) over the module and exits nonzero on any finding.
+// CI runs it as a hard gate next to go vet:
+//
+//	go run ./cmd/lint ./...
+//
+// Patterns follow go-list shape: "./..." walks the whole module, a
+// "dir/..." prefix walks a subtree, anything else is a single package
+// directory. Test files are not analyzed; testdata directories are
+// skipped. Findings are silenced only by an auditable waiver:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line above. A waiver without a reason is
+// itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"deltacolor/internal/analysis"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	modPath, err := analysis.ReadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	paths, err := expand(patterns, root, modPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	loader := analysis.NewLoader(analysis.ModuleResolver(modPath, root))
+	failed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+			failed = true
+			continue
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, analysis.All()) {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: lint [packages]\n\nAnalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+	os.Exit(1)
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expand resolves go-list-style patterns to a sorted list of import paths.
+func expand(patterns []string, root, modPath string) ([]string, error) {
+	set := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all":
+			paths, err := analysis.PackagesUnder(root, root, modPath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				set[p] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(strings.TrimSuffix(pat, "/..."), "./")))
+			paths, err := analysis.PackagesUnder(dir, root, modPath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				set[p] = true
+			}
+		default:
+			dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+			path, ok, err := analysis.PackageAt(dir, root, modPath)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("no Go package at %s", pat)
+			}
+			set[path] = true
+		}
+	}
+	paths := make([]string, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,338 @@
+// Package analysis implements the project's invariant lint suite: custom
+// static analyzers that machine-check the contracts the Δ-coloring stack
+// is built on but that the compiler cannot see —
+//
+//   - protodeterminism: protocol code (anything that runs inside a node
+//     program against a *local.Ctx) must be a pure deterministic function
+//     of its messages, its ID and Ctx.Rand: no wall clock, no
+//     package-global math/rand, no environment reads, no goroutines, and
+//     no map iteration whose order can escape into sends or colors.
+//   - idboundary: the engine's internal tables (port/lane/halt arrays in
+//     package local, laid out in cache-locality order) are indexed by
+//     internal node indices only; external surfaces (Ctx.id, DeadSend)
+//     carry external IDs only; the ext/int translation tables are the
+//     single blessed crossing point.
+//   - hotpathalloc: functions annotated //deltacolor:hotpath (the
+//     per-round deliver/step kernels and the tracer record path) uphold
+//     the zero-allocations-per-round guarantee: no closures, no interface
+//     boxing of integers, no fmt or string building, no appends to
+//     locally declared slices without preallocated capacity.
+//   - spanpair: local.Accountant Begin/End must pair on every control
+//     path (an unbalanced Begin corrupts the attribution of every later
+//     Charge on a live span collection), and Tracer/batch counters are
+//     written only by coordinator-owned code (//deltacolor:coordinator
+//     or Tracer's own methods).
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) but is built on the standard
+// library alone — go/parser, go/types and the source importer — because
+// this module carries no third-party dependencies. cmd/lint is the
+// multichecker; CI runs it as a hard gate next to vet.
+//
+// # Annotations
+//
+// Three comment directives, written in a function's doc comment, extend
+// the analyzers' knowledge:
+//
+//	//deltacolor:protocol     — treat this function as protocol code even
+//	                            though it takes no *local.Ctx parameter.
+//	//deltacolor:hotpath      — enforce the hot-path allocation rules on
+//	                            this function.
+//	//deltacolor:coordinator  — this function is coordinator-owned: it may
+//	                            write Tracer and per-batch trace counters.
+//
+// # Waivers
+//
+// A finding that is deliberate is silenced with an auditable waiver on
+// the offending line or the line directly above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a waiver without one is itself reported. The
+// waiver policy is documented in the README's "Static analysis" section.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //lint:ignore waivers.
+	Name string
+	// Doc is the one-paragraph description cmd/lint -help prints.
+	Doc string
+	// Run performs the check, reporting findings through pass.Report.
+	Run func(pass *Pass)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every registered analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Protodeterminism,
+		IDBoundary,
+		HotPathAlloc,
+		SpanPair,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Comment directives.
+
+const directivePrefix = "//deltacolor:"
+
+// Directives are the //deltacolor: annotations attached to one function.
+type Directives struct {
+	Protocol    bool
+	HotPath     bool
+	Coordinator bool
+}
+
+// funcDirectives scans the doc comment of every function declaration in
+// the files and returns the directive set per declaration.
+func funcDirectives(files []*ast.File) map[*ast.FuncDecl]Directives {
+	out := map[*ast.FuncDecl]Directives{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var d Directives
+			for _, c := range fd.Doc.List {
+				switch strings.TrimSpace(c.Text) {
+				case directivePrefix + "protocol":
+					d.Protocol = true
+				case directivePrefix + "hotpath":
+					d.HotPath = true
+				case directivePrefix + "coordinator":
+					d.Coordinator = true
+				}
+			}
+			if d != (Directives{}) {
+				out[fd] = d
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Waivers.
+
+const waiverPrefix = "//lint:ignore"
+
+// waiver is one parsed //lint:ignore comment.
+type waiver struct {
+	names  map[string]bool
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// waiverSet indexes waivers by (file, line) for one package.
+type waiverSet struct {
+	fset *token.FileSet
+	byLn map[string]*waiver // "filename:line" of the waived line
+	all  []*waiver
+}
+
+// collectWaivers parses every //lint:ignore comment in the files. A
+// waiver on line L silences findings on L (same-line comment) and L+1
+// (comment directly above the offending line).
+func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
+	ws := &waiverSet{fset: fset, byLn: map[string]*waiver{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, waiverPrefix))
+				fields := strings.Fields(rest)
+				w := &waiver{names: map[string]bool{}, pos: c.Pos()}
+				if len(fields) > 0 {
+					for _, n := range strings.Split(fields[0], ",") {
+						if n != "" {
+							w.names[n] = true
+						}
+					}
+					w.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				}
+				ws.all = append(ws.all, w)
+				p := fset.Position(c.Pos())
+				ws.byLn[fmt.Sprintf("%s:%d", p.Filename, p.Line)] = w
+			}
+		}
+	}
+	return ws
+}
+
+// match returns the waiver covering a diagnostic of the given analyzer at
+// pos, if any: a //lint:ignore naming the analyzer on the same line or
+// the line directly above.
+func (ws *waiverSet) match(name string, pos token.Pos) *waiver {
+	p := ws.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if w, ok := ws.byLn[fmt.Sprintf("%s:%d", p.Filename, line)]; ok {
+			if w.names[name] {
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers runs every analyzer over the package and returns the
+// surviving findings (waived findings removed, malformed waivers added),
+// sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ws := collectWaivers(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if w := ws.match(a.Name, d.Pos); w != nil {
+				w.used = true
+				if w.reason == "" {
+					out = append(out, Diagnostic{
+						Pos:      w.pos,
+						Analyzer: a.Name,
+						Message:  "waiver without a reason: //lint:ignore must state why the finding is deliberate",
+					})
+				}
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared type helpers.
+
+// isRuntimePkg reports whether p is the LOCAL runtime package the
+// invariants are defined against (the real deltacolor/local, or a test
+// fixture standing in for it under the same import path tail).
+func isRuntimePkg(p *types.Package) bool {
+	return p != nil && (p.Path() == "deltacolor/local" || strings.HasSuffix(p.Path(), "/local") || p.Path() == "local")
+}
+
+// namedRuntimeType reports whether t (after pointer unwrapping) is the
+// named type with the given name from the runtime package.
+func namedRuntimeType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && isRuntimePkg(obj.Pkg())
+}
+
+// hasCtxParam reports whether the signature takes a *local.Ctx (or
+// local.Ctx) parameter or receiver — the shape of every node program.
+func hasCtxParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	if r := sig.Recv(); r != nil && namedRuntimeType(r.Type(), "Ctx") {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedRuntimeType(sig.Params().At(i).Type(), "Ctx") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the static callee of a call, or nil (dynamic calls,
+// builtins, conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to ("" for builtins and error methods).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

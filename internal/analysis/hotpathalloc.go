@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the zero-allocations-per-round guarantee on
+// functions annotated //deltacolor:hotpath — the per-round deliver/step
+// kernels and the tracer record path. The regression test
+// (TestZeroAllocsPerRound) catches a violation after it lands; this
+// analyzer names the allocating expression at review time.
+//
+// Flagged inside a hot-path function: function literals (closure
+// allocation, and an escape route for everything they capture),
+// interface boxing of integer values (call arguments and returns into
+// interface-typed slots), any fmt call and any string concatenation
+// (both allocate per call), and append to a locally declared slice that
+// was not preallocated with a capacity.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "//deltacolor:hotpath functions must not allocate: no closures, " +
+		"no interface boxing of ints, no fmt or string concatenation, no " +
+		"append to local slices declared without capacity",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	dirs := funcDirectives(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !dirs[fd].HotPath {
+				continue
+			}
+			checkHotPath(pass, fd)
+		}
+	}
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	bare := collectBareSlices(pass, fd.Body)
+	var results *types.Tuple
+	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+		results = fn.Type().(*types.Signature).Results()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), "function literal in hot path: allocates a closure every call and is an escape route for everything it captures")
+		case *ast.CallExpr:
+			checkHotCall(pass, n, bare)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n.X) {
+				pass.Report(n.Pos(), "string concatenation in hot path: allocates; move formatting off the per-round path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				pass.Report(n.Pos(), "string concatenation in hot path: allocates; move formatting off the per-round path")
+			}
+		case *ast.ReturnStmt:
+			checkBoxedReturn(pass, n, results)
+		}
+		return true
+	})
+}
+
+// collectBareSlices returns the local slice variables declared with no
+// backing capacity (var s []T, s := []T{}, s := []T(nil)): the first
+// append to one allocates, and later growth reallocates unpredictably.
+func collectBareSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	bare := map[types.Object]bool{}
+	mark := func(id *ast.Ident) {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				bare[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if cl, ok := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return bare
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, bare map[types.Object]bool) {
+	if isBuiltin(pass.Info, call, "append") {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && bare[obj] {
+				pass.Report(call.Pos(), "append to %s, a local slice declared without capacity: preallocate with make(..., 0, cap) or reuse a field", id.Name)
+			}
+		}
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if funcPkgPath(fn) == "fmt" {
+		pass.Report(call.Pos(), "fmt.%s in hot path: allocates for formatting on every call", fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && isIntegerExpr(pass, arg) {
+			pass.Report(arg.Pos(), "integer boxed into interface argument of %s: boxing allocates off the int fast path", fn.Name())
+		}
+	}
+}
+
+func checkBoxedReturn(pass *Pass, ret *ast.ReturnStmt, results *types.Tuple) {
+	if results == nil || len(ret.Results) != results.Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		if types.IsInterface(results.At(i).Type()) && isIntegerExpr(pass, r) {
+			pass.Report(r.Pos(), "integer boxed into interface return value: boxing allocates off the int fast path")
+		}
+	}
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package as the analyzers see it: parsed
+// files (with comments), the types.Package and the full types.Info.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one source tree. Module
+// packages are resolved through Resolve and checked from source with the
+// loader itself as importer; everything else (the standard library) is
+// delegated to go/importer's source importer, so the loader needs no
+// export data, no build cache and no network — exactly what a
+// dependency-free module allows.
+//
+// The zero value is not usable; construct with NewLoader.
+type Loader struct {
+	Fset *token.FileSet
+	// Resolve maps an import path claimed by this tree to its directory
+	// (ok=false defers the path to the standard-library importer).
+	Resolve func(path string) (dir string, ok bool)
+
+	std  types.Importer
+	pkgs map[string]*Package
+	errs map[string]error
+}
+
+// NewLoader returns a loader over the given resolver.
+func NewLoader(resolve func(path string) (dir string, ok bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		errs:    map[string]error{},
+	}
+}
+
+// ModuleResolver returns a Resolve function for a module rooted at dir
+// with the given module path (read from go.mod by ReadModule).
+func ModuleResolver(modPath, dir string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		if path == modPath {
+			return dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+}
+
+// ReadModule reads the module path from dir/go.mod.
+func ReadModule(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", dir)
+}
+
+// PackagesUnder returns the sorted import paths of every Go package in
+// the subtree rooted at dir of the module rooted at root, skipping
+// testdata, hidden and underscore directories.
+func PackagesUnder(dir, root, modPath string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		path, ok, err := PackageAt(p, root, modPath)
+		if err != nil {
+			return err
+		}
+		if ok {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// PackageAt returns the import path of the package in dir when dir holds
+// at least one non-test Go source file of the module rooted at root.
+func PackageAt(dir, root, modPath string) (string, bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false, err
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return "", false, err
+		}
+		if rel == "." {
+			return modPath, true, nil
+		}
+		return modPath + "/" + filepath.ToSlash(rel), true, nil
+	}
+	return "", false, nil
+}
+
+// Import implements types.Importer so module packages can import each
+// other during checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.Resolve(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load type-checks the package at the import path (memoized).
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.Resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("import path %q is outside the loader's tree", path)
+	}
+	return l.load(path, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.errs[path]; ok {
+		return nil, err
+	}
+	pkg, err := l.check(path, dir)
+	if err != nil {
+		l.errs[path] = err
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// check parses the package's non-test sources and type-checks them. Test
+// files are excluded on purpose: the invariants guard production code,
+// and golden tests legitimately poke at surfaces protocols must not.
+func (l *Loader) check(path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

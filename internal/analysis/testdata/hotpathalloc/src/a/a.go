@@ -1,0 +1,77 @@
+// Package a holds hotpathalloc fixtures. The rules only apply to
+// functions annotated //deltacolor:hotpath.
+package a
+
+import "fmt"
+
+func sink(v any) {}
+
+type ring struct{ buf []int }
+
+// ---------------------------------------------------------------------------
+// Flagged: allocation on the per-round path.
+
+//deltacolor:hotpath
+func closes(xs []int) func() int {
+	f := func() int { return len(xs) } // want `function literal in hot path`
+	return f
+}
+
+//deltacolor:hotpath
+func formats(n int) {
+	fmt.Println(n) // want `fmt\.Println in hot path`
+}
+
+//deltacolor:hotpath
+func boxes(v int) {
+	sink(v) // want `integer boxed into interface argument of sink`
+}
+
+//deltacolor:hotpath
+func boxedReturn(v int32) any {
+	return v // want `integer boxed into interface return value`
+}
+
+//deltacolor:hotpath
+func concats(a, b string) string {
+	return a + b // want `string concatenation in hot path`
+}
+
+//deltacolor:hotpath
+func growsBare(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to out, a local slice declared without capacity`
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Clean: preallocated, field-backed, waived, or simply not hot.
+
+//deltacolor:hotpath
+func growsPreallocated(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//deltacolor:hotpath
+func growsField(r *ring, v int) {
+	r.buf = append(r.buf, v)
+}
+
+//deltacolor:hotpath
+func waivedBoxing(v int) {
+	//lint:ignore hotpathalloc fixture: the boxed fallback is the documented overflow escape
+	sink(v)
+}
+
+// notHot carries no directive: the zero-alloc rules do not apply.
+func notHot(n int) string {
+	var out []int
+	out = append(out, n)
+	return fmt.Sprint(out) + "!"
+}

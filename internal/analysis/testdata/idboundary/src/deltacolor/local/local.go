@@ -1,0 +1,81 @@
+// Package local is a test double of the runtime for the idboundary
+// fixtures: the engine tables live here, so both sides of the ext/int
+// boundary are visible to the analyzer.
+package local
+
+// Ctx carries the external identity protocols observe.
+type Ctx struct{ id int }
+
+// DeadSend is an external surface: From/To are external IDs.
+type DeadSend struct {
+	From, Port, To int
+}
+
+// Network holds internal-order tables plus the two translation arrays.
+type Network struct {
+	extID     []int32
+	intID     []int32
+	off       []int
+	portsFlat []int32
+	haltSeg   []int32
+	ctxs      []Ctx
+}
+
+func (net *Network) toExt(i int) int {
+	if net.extID == nil {
+		return i
+	}
+	return int(net.extID[i])
+}
+
+// ---------------------------------------------------------------------------
+// Flagged: provable boundary crossings without translation.
+
+func haltByExternal(net *Network, c *Ctx) int32 {
+	return net.haltSeg[c.id] // want `internal table haltSeg indexed by an external ID`
+}
+
+func deadSendLeaksInternal(net *Network, c *Ctx) DeadSend {
+	u := net.portsFlat[net.off[0]]
+	return DeadSend{From: c.id, Port: 0, To: int(u)} // want `DeadSend\.To fed an internal index`
+}
+
+func doubleTranslate(net *Network) int {
+	e := net.toExt(4)
+	return net.toExt(e) // want `toExt applied to a value that is already an external ID`
+}
+
+func intIDOfInternal(net *Network) int32 {
+	j := net.intID[5]
+	return net.intID[j] // want `intID indexed by an internal index`
+}
+
+func ctxIDFromInternal(net *Network) {
+	for _, v := range net.intID {
+		net.ctxs[v].id = int(v) // want `Ctx\.id assigned an internal index`
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Clean: the blessed crossings.
+
+func haltTranslated(net *Network, c *Ctx) int32 {
+	return net.haltSeg[net.intID[c.id]]
+}
+
+func deadSendTranslated(net *Network, c *Ctx) DeadSend {
+	u := net.portsFlat[net.off[0]]
+	return DeadSend{From: c.id, Port: 0, To: net.toExt(int(u))}
+}
+
+func internalSweep(net *Network) {
+	for _, u := range net.portsFlat {
+		net.haltSeg[u] = 1
+	}
+}
+
+func ctxIDTranslated(net *Network) {
+	for i := range net.ctxs {
+		net.ctxs[i].id = net.toExt(i)
+	}
+}

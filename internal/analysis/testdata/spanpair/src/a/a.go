@@ -1,0 +1,94 @@
+// Package a holds the Begin/End pairing fixtures for spanpair.
+package a
+
+import (
+	"errors"
+
+	"deltacolor/local"
+)
+
+var errBoom = errors.New("boom")
+
+// ---------------------------------------------------------------------------
+// Flagged: paths that leak an open span.
+
+func leaksOnError(acct *local.Accountant, fail bool) error {
+	acct.Begin("phase")
+	if fail {
+		return errBoom // want `return leaves Accountant\.Begin\("phase"\) open`
+	}
+	acct.End()
+	return nil
+}
+
+func leaksOnFallthrough(acct *local.Accountant) {
+	acct.Begin("tail") // want `Accountant\.Begin\("tail"\) is not closed on every path`
+	acct.Charge("work", 1)
+}
+
+func endWithoutBegin(acct *local.Accountant) {
+	acct.End() // want `Accountant\.End without a matching Begin`
+}
+
+func leaksInBranch(acct *local.Accountant, n int) error {
+	acct.Begin("outer")
+	if n > 0 {
+		acct.Begin("inner")
+		if n > 10 {
+			return errBoom // want `return leaves Accountant\.Begin\("inner"\) open`
+		}
+		acct.End()
+	}
+	acct.End()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Clean: every path pairs.
+
+func pairsOnError(acct *local.Accountant, fail bool) error {
+	acct.Begin("phase")
+	if fail {
+		acct.End()
+		return errBoom
+	}
+	acct.End()
+	return nil
+}
+
+func pairsByDefer(acct *local.Accountant, fail bool) error {
+	acct.Begin("phase")
+	defer acct.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func pairsPerIteration(acct *local.Accountant, n int) {
+	for i := 0; i < n; i++ {
+		acct.Begin("iter")
+		acct.Charge("work", 1)
+		acct.End()
+	}
+}
+
+func pairsAcrossSwitch(acct *local.Accountant, mode int) {
+	acct.Begin("mode")
+	switch mode {
+	case 0:
+		acct.Charge("a", 1)
+	default:
+		acct.Charge("b", 1)
+	}
+	acct.End()
+}
+
+func startFinishExempt(acct *local.Accountant, fail bool) error {
+	acct.StartSpans("pipeline")
+	if fail {
+		return errBoom // abandoned collections are dropped wholesale
+	}
+	acct.FinishSpans()
+	return nil
+}

@@ -40,6 +40,7 @@ func DeterministicNetDec(g *graph.G, seed int64) (*Result, error) {
 	beta := 1.0 / math.Max(1, math.Log(float64(n+2)))
 	dec := dist.Decompose(g, nil, beta, seed)
 	if err := dist.VerifyDecomposition(g, nil, dec); err != nil {
+		acct.End() // close "decompose" on the error path (spanpair)
 		return nil, fmt.Errorf("netdec variant: %w", err)
 	}
 	acct.Charge("decomposition", dec.Rounds)

@@ -186,6 +186,7 @@ func Randomized(g *graph.G, opts RandOptions) (*Result, error) {
 	if anyL {
 		rep, err := colorSmallComponents(g, inL, colors, delta, o, lc, acct)
 		if err != nil {
+			acct.End() // close "shatter" on the error path (spanpair)
 			return nil, err
 		}
 		repairs += rep

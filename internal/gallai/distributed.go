@@ -1,7 +1,8 @@
 package gallai
 
 import (
-	"sort"
+	"maps"
+	"slices"
 
 	"deltacolor/graph"
 	"deltacolor/local"
@@ -26,17 +27,16 @@ func SelectDCCsDistributed(g *graph.G, r int) (dccs [][]int, owner []int, rounds
 		// Rebuild the known subgraph with IDs compacted. Known adjacency
 		// covers every node the DCC search can touch (distance <= r plus
 		// one hop of slack).
-		ids := make([]int, 0, len(ball.Adj))
-		for v := range ball.Adj {
-			ids = append(ids, v)
-		}
-		sort.Ints(ids)
+		ids := slices.Sorted(maps.Keys(ball.Adj))
 		idx := make(map[int]int, len(ids))
 		for i, v := range ids {
 			idx[v] = i
 		}
 		sub := graph.New(len(ids))
-		for v, nbrs := range ball.Adj {
+		// Insert edges in sorted-ID order: sub's adjacency lists (and so
+		// FindDCC's traversal) must not inherit map iteration order.
+		for _, v := range ids {
+			nbrs := ball.Adj[v]
 			iv := idx[v]
 			for _, u := range nbrs {
 				iu, ok := idx[u]

@@ -1,5 +1,10 @@
 package local
 
+import (
+	"maps"
+	"slices"
+)
+
 // BallInfo is the knowledge a node accumulates by flooding for t rounds:
 // the IDs and full adjacency lists of every node within distance t of the
 // center. Because messages are unbounded in the LOCAL model, this is the
@@ -46,7 +51,10 @@ func GatherBall(ctx *Ctx, t int) *BallInfo {
 			if !ok {
 				continue
 			}
-			for id, a := range m.adj {
+			// Sorted keys: the append below must not inherit map
+			// iteration order (protodeterminism).
+			for _, id := range slices.Sorted(maps.Keys(m.adj)) {
+				a := m.adj[id]
 				if round == 0 {
 					// Port p's self-intro: learn neighbor ID.
 					myAdj = append(myAdj, id)

@@ -171,6 +171,8 @@ func (c *Ctx) Input() any { return c.input }
 // overwrites the earlier staging, whichever path it used (messages are
 // unbounded in the LOCAL model, so algorithms bundle what they need).
 // Sending nil un-stages the port.
+//
+//deltacolor:hotpath
 func (c *Ctx) Send(p int, msg Message) {
 	old := c.out[p]
 	c.out[p] = msg
@@ -192,6 +194,8 @@ func (c *Ctx) Send(p int, msg Message) {
 // this round (including int-path stagings). On a degree-0 node it is a
 // no-op: there are no edges to carry the message, and the node is not
 // registered as a sender.
+//
+//deltacolor:hotpath
 func (c *Ctx) Broadcast(msg Message) {
 	if len(c.out) == 0 {
 		return
@@ -215,8 +219,11 @@ func (c *Ctx) Broadcast(msg Message) {
 // path. Values outside the int32 range fall back transparently to the
 // boxed path. Like Send, a later staging on the same port overwrites an
 // earlier one regardless of path.
+//
+//deltacolor:hotpath
 func (c *Ctx) SendInt(p int, v int) {
 	if int64(int32(v)) != int64(v) || !c.net.intPath {
+		//lint:ignore hotpathalloc deliberate escape to the boxed lane: v overflowed int32 or the fast path is disabled, so boxing is the documented fallback
 		c.Send(p, v)
 		return
 	}
@@ -236,8 +243,11 @@ func (c *Ctx) SendInt(p int, v int) {
 // (falling back to the boxed path for values outside int32). Like
 // Broadcast, it overwrites earlier stagings and is a no-op on degree-0
 // nodes.
+//
+//deltacolor:hotpath
 func (c *Ctx) BroadcastInt(v int) {
 	if int64(int32(v)) != int64(v) || !c.net.intPath {
+		//lint:ignore hotpathalloc deliberate escape to the boxed lane: v overflowed int32 or the fast path is disabled, so boxing is the documented fallback
 		c.Broadcast(v)
 		return
 	}
@@ -263,8 +273,11 @@ func (c *Ctx) BroadcastInt(v int) {
 // or nil. Messages sent through the int path are surfaced here as boxed
 // ints (allocation-free for values in [0, 255], the runtime's static
 // boxes), so generic readers interoperate with int-path senders.
+//
+//deltacolor:hotpath
 func (c *Ctx) Recv(p int) Message {
 	if c.inHas[p] != 0 {
+		//lint:ignore hotpathalloc surfacing an int-path message through the generic reader requires boxing by contract; small values hit the runtime's static boxes
 		return int(c.inInt[p])
 	}
 	return c.in[p]
@@ -275,6 +288,8 @@ func (c *Ctx) Recv(p int) Message {
 // (from a Send, an out-of-range SendInt, or a network with the fast path
 // disabled), so int readers interoperate with boxed senders. ok is false
 // when no integer message arrived on p.
+//
+//deltacolor:hotpath
 func (c *Ctx) RecvInt(p int) (v int, ok bool) {
 	if c.inHas[p] != 0 {
 		return int(c.inInt[p]), true
@@ -825,6 +840,8 @@ const (
 // messages and advances every live node by one segment. Matching the
 // historical semantics, the final all-halt sweep is not counted as a round
 // and its staged messages are dropped.
+//
+//deltacolor:coordinator
 func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 	n := net.g.N()
 	start := time.Now()
@@ -976,6 +993,8 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 }
 
 // workPhase pulls batches off the shared cursor until the phase is drained.
+//
+//deltacolor:hotpath
 func (net *Network) workPhase(ph int) {
 	nb := int64(len(net.batches))
 	for {
@@ -987,6 +1006,9 @@ func (net *Network) workPhase(ph int) {
 	}
 }
 
+// doBatch dispatches one batch to the current phase's kernel.
+//
+//deltacolor:hotpath
 func (net *Network) doBatch(ph int, b *batch) {
 	if ph == phaseStep {
 		net.stepBatch(net.segment, b)
@@ -998,6 +1020,8 @@ func (net *Network) doBatch(ph int, b *batch) {
 // stepBatch advances every live node in the batch by one segment, clears
 // the inboxes the node just consumed, collects senders, and compacts
 // halted nodes out of the live list.
+//
+//deltacolor:hotpath
 func (net *Network) stepBatch(fn func(*Ctx) bool, b *batch) {
 	kept := b.live[:0]
 	for _, id := range b.live {
@@ -1025,6 +1049,8 @@ func (net *Network) stepBatch(fn func(*Ctx) bool, b *batch) {
 
 // clearBytes zeroes a byte slice, avoiding the memclr call overhead for
 // the tiny presence maps of low-degree nodes.
+//
+//deltacolor:hotpath
 func clearBytes(h []byte) {
 	if len(h) <= 16 {
 		for i := range h {
@@ -1041,6 +1067,9 @@ func clearBytes(h []byte) {
 // port) slot has a unique sender, so workers on different batches never
 // write the same slot; the receiver flags are atomic because distinct
 // senders may share a receiver.
+//
+//deltacolor:hotpath
+//deltacolor:coordinator
 func (net *Network) deliverBatch(b *batch) {
 	// checkHalt is false while no node in the network has halted: the
 	// haltSeg lookup is then provably always zero, so the hot loops skip

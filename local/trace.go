@@ -169,6 +169,8 @@ func (t *Tracer) beginRun() {
 // foldHalts attributes halts discovered at a fold point: they happened
 // during the previous step sweep, i.e. in the round recorded last (or the
 // init segment, which has no record).
+//
+//deltacolor:hotpath
 func (t *Tracer) foldHalts(halts int) {
 	if halts == 0 {
 		return
@@ -181,6 +183,8 @@ func (t *Tracer) foldHalts(halts int) {
 
 // record appends one round to the ring and the counters. The Halts field
 // is finalized later by foldHalts.
+//
+//deltacolor:hotpath
 func (t *Tracer) record(r RoundTrace) {
 	t.c.Rounds++
 	t.c.IntMessages += int64(r.IntMsgs)
@@ -202,6 +206,8 @@ func (t *Tracer) record(r RoundTrace) {
 }
 
 // countRound folds a counters-only round (no ring record, no timing).
+//
+//deltacolor:hotpath
 func (t *Tracer) countRound(ints, boxed, drops int) {
 	t.c.Rounds++
 	t.c.IntMessages += int64(ints)
