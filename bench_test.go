@@ -88,6 +88,8 @@ func BenchmarkE12Runtime(b *testing.B) { runExperiment(b, exp.E12Runtime) }
 
 func BenchmarkE14Locality(b *testing.B) { runExperiment(b, exp.E14Locality) }
 
+func BenchmarkE16Churn(b *testing.B) { runExperiment(b, exp.E16Churn) }
+
 // Scheduler micro-benchmarks: network construction on a dense graph (the
 // linear-time reverse-port build) and a full dist primitive at scale (the
 // sharded barrier and active-set delivery).

@@ -1,4 +1,4 @@
-// Command benchsuite runs the experiment suite E1–E15 (DESIGN.md §4) at
+// Command benchsuite runs the experiment suite E1–E16 (DESIGN.md §4) at
 // full scale and prints every table as markdown — the exact content
 // EXPERIMENTS.md records. Use -quick for a smoke-scale pass and -only to
 // select individual experiments. -strict turns any message staged for a
@@ -12,8 +12,12 @@
 // delivers fewer rr4 rounds/s than relabeling off at the largest n. E15 is
 // the tracer-overhead measurement; -overheadjson serializes its report
 // (BENCH_overhead.json), and under -strict the run fails if full tracing
-// costs more than 10% throughput. -cpuprofile/-memprofile write pprof
-// profiles of the suite itself.
+// costs more than 10% throughput. E16 is the churn/fault-recovery
+// comparison; -churnjson serializes its report (BENCH_churn.json), and
+// under -strict the run fails unless incremental Recolor beats the full
+// pipeline on rounds and wall time at the largest n and at least one
+// fault plan heals. -cpuprofile/-memprofile write pprof profiles of the
+// suite itself.
 //
 //	go run ./cmd/benchsuite                  # full suite (minutes)
 //	go run ./cmd/benchsuite -quick           # smoke scale (seconds)
@@ -48,6 +52,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "compare the E12 report against this baseline JSON (implies running E12)")
 		maxRegress = flag.Float64("maxregress", 0.30, "max tolerated rounds/s regression vs -baseline (fraction)")
 		ovhJSON    = flag.String("overheadjson", "", "write the E15 tracer-overhead report to this path (implies running E15)")
+		churnJSON  = flag.String("churnjson", "", "write the E16 churn/fault-recovery report to this path (implies running E16)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile at suite end to this path")
 	)
@@ -164,6 +169,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracer overhead gate OK (full tracing <= 10% cost)")
 		}
 		writeReport(*ovhJSON, "overheadjson", rep)
+	}
+	// E16 mirrors E14/E15: run once when selected, optionally serialized,
+	// and gated under -strict (incremental Recolor must beat the full
+	// pipeline on rounds and wall time at the largest n, and at least one
+	// fault plan must heal to a verified coloring).
+	if len(want) == 0 || want["E16"] || *churnJSON != "" {
+		t0 := time.Now()
+		rep := exp.ChurnRecovery(cfg)
+		emit("E16", rep.Table(), t0)
+		if *strict {
+			if err := exp.ChurnGate(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "churn gate OK (incremental recolor wins; faults heal)")
+		}
+		writeReport(*churnJSON, "churnjson", rep)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)

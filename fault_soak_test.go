@@ -1,0 +1,104 @@
+package deltacolor_test
+
+// Fault-injection soak: a time-bounded randomized stress loop mixing
+// fault schedules, live churn and incremental recovery, asserting the
+// two invariants the robustness layer promises — every outcome is either
+// a verified coloring or an error wrapping ErrUnrecoverable, and a
+// healed coloring always passes verification. Intended to run under
+// -race in CI (see the workflow's soak step); skipped in -short.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"deltacolor"
+	"deltacolor/graph/gen"
+	"deltacolor/local"
+	"deltacolor/verify"
+)
+
+// soakBudget bounds the soak's wall time; the loop stops starting new
+// iterations once it is spent, so the test stays ~30s even under -race.
+const soakBudget = 20 * time.Second
+
+func TestFaultChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(0xdecade))
+	deadline := time.Now().Add(soakBudget)
+	iters, healed, unrecoverable := 0, 0, 0
+	for time.Now().Before(deadline) {
+		iters++
+		n, d := 64+32*rng.Intn(4), 3+rng.Intn(3)
+		g := gen.MustRandomRegular(rng, n, d)
+		plan := &local.FaultPlan{
+			Seed:       rng.Int63(),
+			DropProb:   0.08 * rng.Float64(),
+			DupProb:    0.1 * rng.Float64(),
+			DelayProb:  0.1 * rng.Float64(),
+			MaxDelay:   1 + rng.Intn(4),
+			FromRound:  1 + rng.Intn(5),
+			ToRound:    20 + rng.Intn(80),
+			RoundLimit: 30_000,
+		}
+		for c := rng.Intn(3); c > 0; c-- {
+			from := 1 + rng.Intn(10)
+			plan.Crashes = append(plan.Crashes, local.CrashWindow{
+				Node: rng.Intn(n), From: from, To: from + 1 + rng.Intn(25),
+			})
+		}
+		opts := deltacolor.Options{Algorithm: deltacolor.AlgRandomized, Seed: rng.Int63()}
+		res, _, err := deltacolor.ColorUnderFaults(g, opts, plan)
+		if err != nil {
+			if !errors.Is(err, deltacolor.ErrUnrecoverable) {
+				t.Fatalf("iter %d: untyped fault error: %v", iters, err)
+			}
+			unrecoverable++
+			continue
+		}
+		if verr := verify.DeltaColoring(g, res.Colors, res.Delta); verr != nil {
+			t.Fatalf("iter %d: nil error but invalid coloring: %v", iters, verr)
+		}
+		healed++
+
+		// Follow up with live churn on a network over the same graph and
+		// an incremental repair — the coloring-as-a-service loop.
+		net := local.NewNetwork(g, 4)
+		colors := res.Colors
+		for k := 0; k < 6; k++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u != v && !g.HasEdge(u, v) {
+				if err := net.AddEdge(u, v); err != nil {
+					t.Fatalf("iter %d: churn insert: %v", iters, err)
+				}
+			}
+		}
+		nv := net.AddNode()
+		for k := 0; k < 2; k++ {
+			if u := rng.Intn(nv); !g.HasEdge(nv, u) {
+				if err := net.AddEdge(nv, u); err != nil {
+					t.Fatalf("iter %d: churn wire: %v", iters, err)
+				}
+			}
+		}
+		colors = append(colors, -1)
+		delta := g.MaxDegree()
+		if _, err := deltacolor.Recolor(g, colors, delta, rng.Int63()); err != nil {
+			if !errors.Is(err, deltacolor.ErrUnrecoverable) {
+				t.Fatalf("iter %d: untyped recolor error: %v", iters, err)
+			}
+			unrecoverable++
+			continue
+		}
+		if verr := verify.DeltaColoring(g, colors, delta); verr != nil {
+			t.Fatalf("iter %d: post-churn recolor invalid: %v", iters, verr)
+		}
+	}
+	t.Logf("soak: %d iterations, %d healed, %d unrecoverable", iters, healed, unrecoverable)
+	if healed == 0 {
+		t.Fatal("soak never healed a run — fault magnitudes drowned the signal")
+	}
+}

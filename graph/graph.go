@@ -19,6 +19,9 @@ var ErrEdgeExists = errors.New("edge already exists")
 // ErrSelfLoop is returned by AddEdge for a self-loop.
 var ErrSelfLoop = errors.New("self-loops are not allowed")
 
+// ErrNoEdge is returned by RemoveEdge when the edge is absent.
+var ErrNoEdge = errors.New("edge does not exist")
+
 // G is a simple undirected graph with dense node IDs.
 //
 // The zero value is an empty graph with no nodes; use New to pre-allocate.
@@ -82,6 +85,42 @@ func (g *G) MustEdge(u, v int) {
 	if err := g.AddEdge(u, v); err != nil {
 		panic(err)
 	}
+}
+
+// RemoveEdge deletes the undirected edge {u, v}, preserving the relative
+// order of the remaining entries in both adjacency lists (the LOCAL
+// runtime's port numbering is defined by adjacency order, so removal must
+// not permute surviving ports).
+func (g *G) RemoveEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() {
+		return fmt.Errorf("remove edge (%d,%d): node out of range [0,%d)", u, v, g.N())
+	}
+	pu, pv := -1, -1
+	for p, w := range g.adj[u] {
+		if w == v {
+			pu = p
+			break
+		}
+	}
+	if pu < 0 {
+		return fmt.Errorf("remove edge (%d,%d): %w", u, v, ErrNoEdge)
+	}
+	for p, w := range g.adj[v] {
+		if w == u {
+			pv = p
+			break
+		}
+	}
+	g.adj[u] = append(g.adj[u][:pu], g.adj[u][pu+1:]...)
+	g.adj[v] = append(g.adj[v][:pv], g.adj[v][pv+1:]...)
+	g.m--
+	return nil
+}
+
+// AddNode appends a new isolated node and returns its ID (the new N-1).
+func (g *G) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
 }
 
 // FromAdjacency adopts a prebuilt adjacency structure in O(n + Σ deg),

@@ -27,9 +27,13 @@ var SpanPair = &Analyzer{
 	Run: runSpanPair,
 }
 
-// batchCounterFields are the per-batch trace counters (owner-written,
-// drained by the coordinator between phases).
-var batchCounterFields = map[string]bool{"trInts": true, "trBoxed": true, "trDrops": true}
+// batchCounterFields are the per-batch trace and fault-injection counters
+// (owner-written, drained by the coordinator between phases/rounds).
+var batchCounterFields = map[string]bool{
+	"trInts": true, "trBoxed": true, "trDrops": true,
+	"ftDrops": true, "ftDups": true, "ftDelays": true,
+	"ftCrashIn": true, "ftOffline": true, "ftPanics": true,
+}
 
 // tracerStateFields are Tracer's mutable run-state fields. Configuration
 // and storage set up at construction (level, epoch, ring) are not

@@ -42,10 +42,14 @@ func stealsHead(t *Tracer, n int) {
 	t.head = n // want `write to tracer counter head`
 }
 
-type batch struct{ trInts, trBoxed int32 }
+type batch struct{ trInts, trBoxed, ftDrops, ftPanics int32 }
 
 func stealsBatchCounter(b *batch) {
 	b.trInts++ // want `write to batch trace counter trInts`
+}
+
+func stealsFaultCounter(b *batch) {
+	b.ftDrops++ // want `write to batch trace counter ftDrops`
 }
 
 // ---------------------------------------------------------------------------
@@ -64,6 +68,7 @@ func (t *Tracer) reset() {
 //deltacolor:coordinator
 func coordinatorDrains(b *batch) {
 	b.trInts, b.trBoxed = 0, 0
+	b.ftDrops, b.ftPanics = 0, 0
 }
 
 func mutatesCopy(t *Tracer) int64 {

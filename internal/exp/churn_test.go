@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func churnRow(n, incrRounds, fullRounds int, incrMs, fullMs float64) ChurnMutationRow {
+	return ChurnMutationRow{Family: "rr4", N: n, Edges: 2 * n, Delta: 8,
+		Mutations: n / 100, Conflicts: n / 200,
+		IncrRounds: incrRounds, IncrMillis: incrMs,
+		FullRounds: fullRounds, FullMillis: fullMs,
+		RoundsRatio: ratio(incrRounds, fullRounds), WallRatio: incrMs / fullMs}
+}
+
+func TestChurnReportRoundTrip(t *testing.T) {
+	rep := &ChurnReport{Schema: ChurnSchema, GoMaxProcs: 1, Quick: true, Seed: 5,
+		MutationRows: []ChurnMutationRow{churnRow(10000, 40, 300, 12, 800)},
+		FaultRows:    []ChurnFaultRow{{Plan: "drop-2%", N: 512, Rounds: 200, Verified: true}}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChurnReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MutationRows) != 1 || len(got.FaultRows) != 1 || got.Seed != 5 ||
+		got.MutationRows[0].IncrRounds != 40 || !got.FaultRows[0].Verified {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	bad := bytes.NewBufferString(`{"schema":"bogus/v9"}`)
+	if _, err := ReadChurnReport(bad); err == nil {
+		t.Fatal("unknown schema must be rejected")
+	}
+}
+
+func TestChurnGate(t *testing.T) {
+	healed := ChurnFaultRow{Plan: "drop-2%", N: 512, Verified: true}
+	dead := ChurnFaultRow{Plan: "crash-burst", N: 512, Unrecoverable: true}
+
+	ok := &ChurnReport{Schema: ChurnSchema,
+		MutationRows: []ChurnMutationRow{
+			churnRow(10000, 400, 300, 900, 800), // small n loses: not gated
+			churnRow(100000, 40, 300, 12, 2000),
+		},
+		FaultRows: []ChurnFaultRow{dead, healed}}
+	if err := ChurnGate(ok); err != nil {
+		t.Fatalf("incremental wins at largest n, got %v", err)
+	}
+
+	badRounds := &ChurnReport{Schema: ChurnSchema,
+		MutationRows: []ChurnMutationRow{churnRow(100000, 400, 300, 12, 2000)},
+		FaultRows:    []ChurnFaultRow{healed}}
+	if err := ChurnGate(badRounds); err == nil {
+		t.Fatal("incremental losing on rounds must fail the gate")
+	}
+
+	badWall := &ChurnReport{Schema: ChurnSchema,
+		MutationRows: []ChurnMutationRow{churnRow(100000, 40, 300, 2500, 2000)},
+		FaultRows:    []ChurnFaultRow{healed}}
+	if err := ChurnGate(badWall); err == nil {
+		t.Fatal("incremental losing on wall time must fail the gate")
+	}
+
+	noHeal := &ChurnReport{Schema: ChurnSchema,
+		MutationRows: []ChurnMutationRow{churnRow(100000, 40, 300, 12, 2000)},
+		FaultRows:    []ChurnFaultRow{dead}}
+	if err := ChurnGate(noHeal); err == nil {
+		t.Fatal("no healed fault row must fail the gate")
+	}
+
+	empty := &ChurnReport{Schema: ChurnSchema}
+	if err := ChurnGate(empty); err == nil {
+		t.Fatal("empty report must fail, not pass vacuously")
+	}
+}
+
+// TestChurnRecoverySmoke runs E16 at a tiny scale and checks the report's
+// shape and self-consistency: every mutation row verified both colorings
+// (the runner panics otherwise), ratios match their numerators, and the
+// fault rows all resolved to a typed outcome.
+func TestChurnRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 measurement is slow")
+	}
+	rep := ChurnRecovery(Config{Quick: true, Seed: 3})
+	if rep.Schema != ChurnSchema || !rep.Quick {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.MutationRows) != 2 || len(rep.FaultRows) != 3 {
+		t.Fatalf("rows = %d mutation / %d fault, want 2/3", len(rep.MutationRows), len(rep.FaultRows))
+	}
+	for _, r := range rep.MutationRows {
+		if r.Mutations == 0 || r.Inserts == 0 {
+			t.Fatalf("vacuous mutation row: %+v", r)
+		}
+		if r.Conflicts == 0 {
+			t.Fatalf("mutation stream left no conflicts (nothing measured): %+v", r)
+		}
+		if r.FullRounds <= 0 || r.FullMillis <= 0 {
+			t.Fatalf("full pipeline not measured: %+v", r)
+		}
+		if got := ratio(r.IncrRounds, r.FullRounds); got != r.RoundsRatio {
+			t.Fatalf("rounds ratio %v inconsistent with %d/%d", r.RoundsRatio, r.IncrRounds, r.FullRounds)
+		}
+	}
+	for _, r := range rep.FaultRows {
+		if r.Verified == r.Unrecoverable {
+			t.Fatalf("fault row without a typed outcome: %+v", r)
+		}
+	}
+}

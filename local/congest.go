@@ -21,6 +21,13 @@ type MessageStats struct {
 	RoundsActive int // rounds in which at least one message was sent
 	Dropped      int // messages staged for already-halted receivers (never delivered)
 	Truncated    int // messages whose size estimate hit the reflection depth cap (undercounted; see maxEstimateDepth)
+
+	// DroppedByFault counts messages an attached FaultPlan destroyed
+	// (drops, crash-window drops, lost delayed messages). Kept separate
+	// from Dropped so the strict dead-send accounting — a protocol-bug
+	// detector — does not misfire on injected faults. Always 0 without a
+	// plan.
+	DroppedByFault int
 }
 
 // EnableMessageStats turns on message-size accounting for subsequent

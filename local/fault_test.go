@@ -1,0 +1,439 @@
+package local
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"deltacolor/graph"
+)
+
+func TestFaultPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan FaultPlan
+		ok   bool
+	}{
+		{"zero plan", FaultPlan{}, true},
+		{"round budget only", FaultPlan{RoundLimit: 10}, true},
+		{"drop with limit", FaultPlan{DropProb: 0.1, RoundLimit: 100}, true},
+		{"drop without limit", FaultPlan{DropProb: 0.1}, false},
+		{"crash without limit", FaultPlan{Crashes: []CrashWindow{{Node: 1, From: 2, To: 3}}}, false},
+		{"prob out of range", FaultPlan{DropProb: 1.5, RoundLimit: 10}, false},
+		{"negative prob", FaultPlan{DupProb: -0.1, RoundLimit: 10}, false},
+		{"delay without max", FaultPlan{DelayProb: 0.1, RoundLimit: 10}, false},
+		{"delay ok", FaultPlan{DelayProb: 0.1, MaxDelay: 3, RoundLimit: 10}, true},
+		{"crash from round 0", FaultPlan{Crashes: []CrashWindow{{Node: 0, From: 0}}, RoundLimit: 10}, false},
+		{"crash empty window", FaultPlan{Crashes: []CrashWindow{{Node: 0, From: 3, To: 3}}, RoundLimit: 10}, false},
+		{"crash forever", FaultPlan{Crashes: []CrashWindow{{Node: 0, From: 3}}, RoundLimit: 10}, true},
+		{"bad message window", FaultPlan{DropProb: 0.1, FromRound: 5, ToRound: 2, RoundLimit: 10}, false},
+		{"negative limit", FaultPlan{RoundLimit: -1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+func TestSetFaultPlanRejectsInvalid(t *testing.T) {
+	net := NewNetwork(pathGraph(3), 1)
+	if err := net.SetFaultPlan(&FaultPlan{DropProb: 0.5}); err == nil {
+		t.Fatal("attach of invalid plan succeeded")
+	}
+	if net.FaultPlan() != nil {
+		t.Fatal("invalid plan left attached")
+	}
+	if err := SetDefaultFaultPlan(&FaultPlan{DropProb: 2}); err == nil {
+		t.Fatal("invalid default plan accepted")
+	}
+}
+
+func TestDefaultFaultPlanPickup(t *testing.T) {
+	plan := &FaultPlan{DropProb: 0.25, RoundLimit: 64}
+	if err := SetDefaultFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = SetDefaultFaultPlan(nil) }()
+	net := NewNetwork(pathGraph(4), 1)
+	if net.FaultPlan() != plan {
+		t.Fatal("NewNetwork did not pick up the default fault plan")
+	}
+	_ = SetDefaultFaultPlan(nil)
+	net2 := NewNetwork(pathGraph(4), 1)
+	if net2.FaultPlan() != nil {
+		t.Fatal("plan still attached after default cleared")
+	}
+}
+
+// broadcastRounds is the shared fixed-round probe: every node broadcasts
+// its ID for rounds rounds and outputs how many int messages it received.
+func broadcastRounds(rounds int) NodeFunc {
+	return func(ctx *Ctx) {
+		got := 0
+		for r := 0; r < rounds; r++ {
+			ctx.BroadcastInt(ctx.ID())
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if _, ok := ctx.RecvInt(p); ok {
+					got++
+				}
+			}
+		}
+		ctx.SetOutput(got)
+	}
+}
+
+func TestDropAllMessages(t *testing.T) {
+	g := pathGraph(4) // directed degree sum 6
+	net := NewNetwork(g, 1)
+	net.EnableMessageStats()
+	tr := NewTracer(TraceCounters, 0)
+	net.SetTracer(tr)
+	if err := net.SetFaultPlan(&FaultPlan{Seed: 9, DropProb: 1, RoundLimit: 50}); err != nil {
+		t.Fatal(err)
+	}
+	outs := net.Run(broadcastRounds(3))
+	for v, o := range outs {
+		if o.(int) != 0 {
+			t.Fatalf("node %d received %v messages despite DropProb=1", v, o)
+		}
+	}
+	// Three delivery rounds of 6 staged messages each, all dropped.
+	fs := net.FaultStats()
+	if fs.Drops != 18 {
+		t.Fatalf("Drops = %d, want 18", fs.Drops)
+	}
+	if got := net.MessageStats().DroppedByFault; got != 18 {
+		t.Fatalf("MessageStats.DroppedByFault = %d, want 18", got)
+	}
+	if got := tr.Counters().FaultDrops; got != 18 {
+		t.Fatalf("tracer FaultDrops = %d, want 18", got)
+	}
+	if fs.RoundLimited != 0 {
+		t.Fatalf("run flagged RoundLimited, rounds=%d", net.Rounds())
+	}
+}
+
+func TestNoFaultsLeaveStatsZero(t *testing.T) {
+	net := NewNetwork(pathGraph(4), 1)
+	net.EnableMessageStats()
+	net.Run(broadcastRounds(2))
+	if fs := net.FaultStats(); fs != (FaultStats{}) {
+		t.Fatalf("fault stats nonzero without a plan: %+v", fs)
+	}
+	if got := net.MessageStats().DroppedByFault; got != 0 {
+		t.Fatalf("DroppedByFault = %d without a plan", got)
+	}
+}
+
+// faultHashProbe runs a fixed number of rounds and outputs a hash of
+// everything the node observed (per-port values per round), so any
+// schedule difference changes the output.
+func faultHashProbe(rounds int) NodeFunc {
+	return func(ctx *Ctx) {
+		h := fnv.New64a()
+		buf := make([]byte, 8)
+		put := func(v int) {
+			for i := range buf {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf)
+		}
+		for r := 0; r < rounds; r++ {
+			ctx.BroadcastInt(ctx.ID()*1000 + r)
+			ctx.Next()
+			for p := 0; p < ctx.Degree(); p++ {
+				if v, ok := ctx.RecvInt(p); ok {
+					put(p)
+					put(v)
+				}
+			}
+		}
+		ctx.SetOutput(h.Sum64())
+	}
+}
+
+func TestFaultScheduleDeterministicAcrossWorkers(t *testing.T) {
+	plan := &FaultPlan{
+		Seed: 7, DropProb: 0.3, DupProb: 0.2, DelayProb: 0.2, MaxDelay: 3,
+		Crashes:    []CrashWindow{{Node: 5, From: 2, To: 4}, {Node: 17, From: 3}},
+		RoundLimit: 60,
+	}
+	run := func(workers, batchSize int) ([]any, FaultStats, int) {
+		net := NewNetwork(cycleGraph(101), 3)
+		net.SetWorkers(workers)
+		net.setBatch(batchSize)
+		if err := net.SetFaultPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		outs := net.Run(faultHashProbe(6))
+		return outs, net.FaultStats(), net.Rounds()
+	}
+	base, baseStats, baseRounds := run(1, 0)
+	if baseStats.Total() == 0 {
+		t.Fatal("probe run injected no faults; test is vacuous")
+	}
+	for _, cfg := range [][2]int{{4, 0}, {4, 7}, {2, 13}} {
+		outs, fs, rounds := run(cfg[0], cfg[1])
+		if fs != baseStats {
+			t.Fatalf("workers=%d batch=%d: fault stats %+v != %+v", cfg[0], cfg[1], fs, baseStats)
+		}
+		if rounds != baseRounds {
+			t.Fatalf("workers=%d batch=%d: rounds %d != %d", cfg[0], cfg[1], rounds, baseRounds)
+		}
+		for v := range base {
+			if outs[v] != base[v] {
+				t.Fatalf("workers=%d batch=%d: node %d output %v != %v", cfg[0], cfg[1], v, outs[v], base[v])
+			}
+		}
+	}
+}
+
+func TestFaultScheduleVariesAcrossRuns(t *testing.T) {
+	// Consecutive runs on one network must see different fault schedules
+	// (the run sequence number is part of the hash domain) — otherwise a
+	// retry loop would deterministically hit the identical failure.
+	net := NewNetwork(cycleGraph(101), 3)
+	if err := net.SetFaultPlan(&FaultPlan{Seed: 7, DropProb: 0.3, RoundLimit: 60}); err != nil {
+		t.Fatal(err)
+	}
+	a := net.Run(faultHashProbe(6))
+	b := net.Run(faultHashProbe(6))
+	same := true
+	for v := range a {
+		if a[v] != b[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two consecutive runs observed the identical fault schedule")
+	}
+}
+
+func TestCrashWindowFreezeAndRestart(t *testing.T) {
+	net := NewNetwork(pathGraph(3), 1)
+	if err := net.SetFaultPlan(&FaultPlan{
+		Crashes:    []CrashWindow{{Node: 1, From: 2, To: 4}},
+		RoundLimit: 50,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	outs := net.Run(broadcastRounds(5))
+	// Node 1 freezes during rounds 2 and 3: it misses those two steps (so
+	// its five loop iterations stretch to round 7) and the messages sent
+	// to it in rounds 2 and 3 are dropped. It hears both neighbors in
+	// rounds 1, 4 and 5; the neighbors hear node 1's broadcasts of rounds
+	// 1, 2 and 5 plus each hears nothing from the far end (degree 1).
+	if got := outs[1].(int); got != 6 {
+		t.Errorf("frozen node received %d, want 6", got)
+	}
+	if outs[0].(int) != 3 || outs[2].(int) != 3 {
+		t.Errorf("neighbors received %v / %v, want 3 / 3", outs[0], outs[2])
+	}
+	fs := net.FaultStats()
+	if fs.OfflineSteps != 2 {
+		t.Errorf("OfflineSteps = %d, want 2", fs.OfflineSteps)
+	}
+	if fs.CrashDrops != 4 {
+		t.Errorf("CrashDrops = %d, want 4", fs.CrashDrops)
+	}
+	if net.Rounds() != 7 {
+		t.Errorf("rounds = %d, want 7", net.Rounds())
+	}
+}
+
+func TestDelayedMessageArrivesLater(t *testing.T) {
+	g := graph.New(2)
+	g.MustEdge(0, 1)
+	net := NewNetwork(g, 1)
+	if err := net.SetFaultPlan(&FaultPlan{Seed: 3, DelayProb: 1, MaxDelay: 1, RoundLimit: 20}); err != nil {
+		t.Fatal(err)
+	}
+	outs := net.Run(func(ctx *Ctx) {
+		if ctx.ID() == 0 {
+			ctx.SendInt(0, 7)
+		}
+		got := 0
+		for r := 1; r <= 4; r++ {
+			ctx.Next()
+			if v, ok := ctx.RecvInt(0); ok && got == 0 {
+				if v != 7 {
+					ctx.SetOutput(-v)
+					return
+				}
+				got = r
+			}
+		}
+		ctx.SetOutput(got)
+	})
+	// MaxDelay=1 makes every delay exactly one round: the round-1 message
+	// arrives in round 2.
+	if got := outs[1].(int); got != 2 {
+		t.Fatalf("message arrived in round %v, want 2", outs[1])
+	}
+	if fs := net.FaultStats(); fs.Delays != 1 || fs.Drops != 0 {
+		t.Fatalf("stats %+v, want exactly one delay", fs)
+	}
+}
+
+func TestDuplicatedMessageArrivesTwice(t *testing.T) {
+	g := graph.New(2)
+	g.MustEdge(0, 1)
+	net := NewNetwork(g, 1)
+	if err := net.SetFaultPlan(&FaultPlan{Seed: 3, DupProb: 1, RoundLimit: 20}); err != nil {
+		t.Fatal(err)
+	}
+	outs := net.Run(func(ctx *Ctx) {
+		if ctx.ID() == 0 {
+			ctx.SendInt(0, 7)
+		}
+		seen := 0
+		for r := 1; r <= 4; r++ {
+			ctx.Next()
+			if _, ok := ctx.RecvInt(0); ok {
+				seen++
+			}
+		}
+		ctx.SetOutput(seen)
+	})
+	// One staged message, duplicated: delivered in round 1 and re-injected
+	// in round 2. The duplicate is not re-faulted, so exactly twice.
+	if got := outs[1].(int); got != 2 {
+		t.Fatalf("message seen %v times, want 2", outs[1])
+	}
+	if fs := net.FaultStats(); fs.Dups != 1 {
+		t.Fatalf("stats %+v, want exactly one dup", fs)
+	}
+}
+
+func TestRoundLimitForceHalts(t *testing.T) {
+	net := NewNetwork(cycleGraph(8), 1)
+	if err := net.SetFaultPlan(&FaultPlan{RoundLimit: 5}); err != nil {
+		t.Fatal(err)
+	}
+	outs := net.Run(func(ctx *Ctx) {
+		for {
+			ctx.BroadcastInt(1)
+			ctx.Next()
+		}
+	})
+	if net.Rounds() != 5 {
+		t.Fatalf("rounds = %d, want the limit 5", net.Rounds())
+	}
+	if fs := net.FaultStats(); fs.RoundLimited != 1 {
+		t.Fatalf("RoundLimited = %d, want 1", fs.RoundLimited)
+	}
+	if outs[0] != nil {
+		t.Fatalf("force-halted node has output %v", outs[0])
+	}
+}
+
+func TestNodePanicContained(t *testing.T) {
+	net := NewNetwork(pathGraph(3), 1)
+	if err := net.SetFaultPlan(&FaultPlan{RoundLimit: 10}); err != nil {
+		t.Fatal(err)
+	}
+	outs := net.Run(func(ctx *Ctx) {
+		ctx.BroadcastInt(1)
+		ctx.Next()
+		if ctx.ID() == 1 {
+			panic("fault-mangled state")
+		}
+		ctx.BroadcastInt(2)
+		ctx.Next()
+		ctx.SetOutput("done")
+	})
+	if outs[0] != "done" || outs[2] != "done" {
+		t.Fatalf("healthy nodes did not finish: %v", outs)
+	}
+	if outs[1] != nil {
+		t.Fatalf("panicked node has output %v", outs[1])
+	}
+	if fs := net.FaultStats(); fs.NodePanics != 1 {
+		t.Fatalf("NodePanics = %d, want 1", fs.NodePanics)
+	}
+}
+
+func TestPanicWithoutPlanStillPropagates(t *testing.T) {
+	net := NewNetwork(pathGraph(2), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate on a healthy network")
+		}
+	}()
+	net.SetWorkers(1)
+	net.Run(func(ctx *Ctx) {
+		panic("protocol bug")
+	})
+}
+
+func TestMessageFaultWindow(t *testing.T) {
+	// Drops confined to rounds [2,2]: round 1 and 3+ deliver normally.
+	net := NewNetwork(pathGraph(4), 1)
+	if err := net.SetFaultPlan(&FaultPlan{Seed: 1, DropProb: 1, FromRound: 2, ToRound: 2, RoundLimit: 50}); err != nil {
+		t.Fatal(err)
+	}
+	outs := net.Run(broadcastRounds(3))
+	// Each node misses exactly its round-2 inbound messages (degree each).
+	want := map[int]int{0: 2, 1: 4, 2: 4, 3: 2}
+	for v, o := range outs {
+		if o.(int) != want[v] {
+			t.Fatalf("node %d received %v, want %d (outs=%v)", v, o, want[v], fmt.Sprint(outs...))
+		}
+	}
+	if fs := net.FaultStats(); fs.Drops != 6 {
+		t.Fatalf("Drops = %d, want 6 (one round of 6 staged messages)", fs.Drops)
+	}
+}
+
+// TestStrictDeadSendsSuppressedUnderFaults pins the accounting satellite:
+// the strict late-dead-send panic is a protocol-bug detector, and an
+// attached FaultPlan voids it — injected drops and crashes legitimately
+// make halt knowledge stale, so the same protocol that fails strict mode
+// on a healthy network must complete when a plan is attached.
+func TestStrictDeadSendsSuppressedUnderFaults(t *testing.T) {
+	prev := StrictDeadSends()
+	SetStrictDeadSends(true)
+	defer SetStrictDeadSends(prev)
+
+	// Node 0 halts in sweep 0; node 1 keeps talking to it for two rounds.
+	// The round-2 send is a late dead send: strict mode panics on it.
+	chatty := func(ctx *Ctx) {
+		if ctx.ID() == 0 {
+			return
+		}
+		ctx.SendInt(0, 1)
+		ctx.Next()
+		ctx.SendInt(0, 2)
+		ctx.Next()
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("strict mode did not panic on a late dead send without a plan")
+			}
+		}()
+		NewNetwork(pathGraph(2), 1).Run(chatty)
+	}()
+
+	// Same protocol, plan attached (its fault window never fires): the
+	// strict check must stand down, and the run completes normally.
+	net := NewNetwork(pathGraph(2), 1)
+	if err := net.SetFaultPlan(&FaultPlan{Seed: 1, DropProb: 1, FromRound: 1000, ToRound: 1000, RoundLimit: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(chatty)
+	if late := net.LateDeadSends(); len(late) != 1 {
+		t.Fatalf("late dead sends still tracked for post-mortems, got %v", late)
+	}
+	if fs := net.FaultStats(); fs.Total() != 0 {
+		t.Fatalf("inert window injected faults: %+v", fs)
+	}
+}

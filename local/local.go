@@ -332,6 +332,14 @@ type batch struct {
 	// delivery phase.
 	trInts, trBoxed, trDrops int32
 
+	// Per-round fault-injection counters and the delayed/duplicated
+	// messages staged by this batch's faulty kernels (fault.go). Same
+	// ownership rule as the tracing counters: one worker per phase,
+	// drained by the coordinator each round. All zero/empty when no
+	// FaultPlan is attached.
+	ftDrops, ftDups, ftDelays, ftCrashIn, ftOffline, ftPanics int32
+	pend                                                      []pendingFault
+
 	_ [64]byte
 }
 
@@ -416,6 +424,20 @@ type Network struct {
 
 	tracer    *Tracer // round-level tracing (see trace.go); nil = off
 	countMsgs bool    // per-run: tracer wants lane counts from delivery
+
+	// Fault injection (fault.go). fault == nil is the only state the hot
+	// kernels ever see on a healthy network: doBatch dispatches to the
+	// separate faulty kernels on one pointer check, so the injection-free
+	// fast path keeps its zero-allocs-per-round guarantee bit for bit.
+	fault      *FaultPlan            // nil = no injection
+	crashW     map[int][]CrashWindow // external ID -> offline windows, built by SetFaultPlan
+	faultStats FaultStats            // per-run fault counters (coordinator-owned)
+	pendFault  []pendingFault        // delayed/duplicated messages awaiting injection
+	runSeq     int64                 // run sequence number; domain-separates fault hashing across runs
+
+	// Churn (churn.go): set by the mutation API; setup consolidates the
+	// flat edge tables before the next run.
+	dirty bool
 }
 
 // strictDead is the package default installed on new networks; see
@@ -473,6 +495,11 @@ func NewNetwork(g *graph.G, seed int64) *Network {
 	if strictDead.Load() {
 		net.trackDead = true
 		net.strict = true
+	}
+	if p := defaultFaultPlan.Load(); p != nil {
+		// The default plan was validated when it was installed, so the
+		// attach cannot fail here.
+		_ = net.SetFaultPlan(p)
 	}
 	if !relabelOff.Load() && n > 1 {
 		ord := graph.LocalityOrder(g)
@@ -749,6 +776,9 @@ func RunSteppedWithInput[S any](net *Network, p Stepped[S], inputs []any) []any 
 // halt segments are rebuilt below), so consecutive runs never leak state
 // into each other's reports.
 func (net *Network) setup(inputs []any) {
+	if net.dirty {
+		net.rebuildFlat()
+	}
 	n := net.g.N()
 	if inputs != nil && len(inputs) != n {
 		panic(fmt.Sprintf("local: RunWithInput: len(inputs) = %d, want %d (one input per node)", len(inputs), n))
@@ -758,6 +788,11 @@ func (net *Network) setup(inputs []any) {
 	net.lastRun = RunStats{}
 	if net.stats != nil {
 		*net.stats = MessageStats{}
+	}
+	net.runSeq++
+	if net.fault != nil {
+		net.faultStats = FaultStats{}
+		net.pendFault = net.pendFault[:0]
 	}
 
 	total := net.off[n]
@@ -929,6 +964,13 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 		if net.stats != nil {
 			net.recordMessages()
 		}
+		if net.fault != nil {
+			// Delayed/duplicated messages whose due round arrived are
+			// written into the inbox lanes before the live senders deliver;
+			// a fresh message on the same (receiver, port) slot overwrites
+			// the stale injection, matching the one-message-per-edge rule.
+			net.injectPending()
+		}
 		var rt RoundTrace
 		if full {
 			t0 = time.Now()
@@ -953,6 +995,9 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 				b.trInts, b.trBoxed, b.trDrops = 0, 0, 0
 			}
 		}
+		if net.fault != nil {
+			net.drainFault(tr)
+		}
 		net.rounds++
 		net.segment = step
 		if full {
@@ -970,6 +1015,25 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 				tr.countRound(rt.IntMsgs, rt.BoxedMsgs, rt.Drops)
 			}
 		}
+		if net.fault != nil && net.fault.RoundLimit > 0 && net.rounds >= net.fault.RoundLimit {
+			// Dropped or delayed messages can stall a protocol forever; the
+			// plan's round budget force-halts the run so every faulty
+			// execution terminates. Outputs of still-running nodes are
+			// whatever they last recorded. A run that finished on its own
+			// in exactly the budget (the step sweep above halted everyone)
+			// is not flagged as limited.
+			rem := running
+			for i := range net.batches {
+				rem -= net.batches[i].halts
+			}
+			if rem > 0 {
+				net.faultStats.RoundLimited = 1
+				break
+			}
+		}
+	}
+	if net.fault != nil {
+		net.finishFaultRun(tr)
 	}
 	if w > 1 {
 		close(cmd)
@@ -984,7 +1048,12 @@ func (net *Network) runRounds(init, step func(*Ctx) bool) []any {
 	if net.rounds > 0 && wall > 0 {
 		net.lastRun.RoundsPerSec = float64(net.rounds) / wall.Seconds()
 	}
-	if net.strict {
+	// An attached FaultPlan voids the protocol-bug detector: injected
+	// drops and crash windows legitimately make halt knowledge stale, so
+	// late dead sends under faults are expected collateral (the
+	// fault-destroyed ones are accounted separately in
+	// MessageStats.DroppedByFault), not protocol regressions.
+	if net.strict && net.fault == nil {
 		if ds := net.LateDeadSends(); len(ds) > 0 {
 			panic(fmt.Sprintf("local: strict mode: %d late dead send(s) recorded, first: %s", len(ds), ds[0]))
 		}
@@ -1006,13 +1075,24 @@ func (net *Network) workPhase(ph int) {
 	}
 }
 
-// doBatch dispatches one batch to the current phase's kernel.
+// doBatch dispatches one batch to the current phase's kernel. Fault
+// injection costs exactly one nil check here when no plan is attached;
+// the faulty kernels (fault.go) are separate functions so the healthy
+// kernels below stay allocation-free and branch-identical.
 //
 //deltacolor:hotpath
 func (net *Network) doBatch(ph int, b *batch) {
 	if ph == phaseStep {
+		if net.fault != nil {
+			net.stepBatchFaulty(net.segment, b)
+			return
+		}
 		net.stepBatch(net.segment, b)
 	} else {
+		if net.fault != nil {
+			net.deliverBatchFaulty(b)
+			return
+		}
 		net.deliverBatch(b)
 	}
 }

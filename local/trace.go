@@ -83,6 +83,13 @@ type Counters struct {
 	// tracing takes no timestamps).
 	StepNanos    int64 `json:"step_ns"`
 	DeliverNanos int64 `json:"deliver_ns"`
+	// Fault-injection counters (fault.go), accumulated only when a
+	// FaultPlan is attached to the traced network: messages destroyed by
+	// the plan (drops plus crash-window drops), duplicated deliveries,
+	// and delayed deliveries.
+	FaultDrops  int64 `json:"fault_drops,omitempty"`
+	FaultDups   int64 `json:"fault_dups,omitempty"`
+	FaultDelays int64 `json:"fault_delays,omitempty"`
 }
 
 // Messages returns the total staged messages across both lanes.
@@ -213,6 +220,14 @@ func (t *Tracer) countRound(ints, boxed, drops int) {
 	t.c.IntMessages += int64(ints)
 	t.c.BoxedMessages += int64(boxed)
 	t.c.Drops += int64(drops)
+}
+
+// countFaults folds one round's fault-injection counters (drained by the
+// coordinator from the batch kernels in fault.go).
+func (t *Tracer) countFaults(drops, dups, delays int64) {
+	t.c.FaultDrops += drops
+	t.c.FaultDups += dups
+	t.c.FaultDelays += delays
 }
 
 // defaultTracer is the package-wide tracer networks created afterwards
