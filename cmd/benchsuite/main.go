@@ -6,7 +6,12 @@
 // the runtime-throughput benchmark; -runtimejson additionally serializes
 // its report (BENCH_runtime.json), and -baseline compares the fresh E12
 // numbers against a checked-in report, failing on a rounds/s regression
-// beyond -maxregress at the largest common scale. E14 is the
+// beyond -maxregress at the largest common scale. -mpbaseline is the
+// scheduler's parallel-speedup gate: the fresh rr4 multi-worker sweep
+// must not be slower (beyond -mpmargin) than the single-worker rr4
+// rounds/s recorded in the given report — CI runs E12 once at
+// GOMAXPROCS=1 and once at GOMAXPROCS=4 and feeds the first run's JSON
+// to the second. E14 is the
 // cache-locality relabeling ablation; -localityjson serializes its report
 // (BENCH_locality.json), and under -strict the run fails if relabeling on
 // delivers fewer rr4 rounds/s than relabeling off at the largest n. E15 is
@@ -51,6 +56,8 @@ func main() {
 		strict     = flag.Bool("strict", false, "fail hard on dead sends (messages staged for halted neighbors)")
 		baseline   = flag.String("baseline", "", "compare the E12 report against this baseline JSON (implies running E12)")
 		maxRegress = flag.Float64("maxregress", 0.30, "max tolerated rounds/s regression vs -baseline (fraction)")
+		mpBaseline = flag.String("mpbaseline", "", "multi-worker gate: the fresh E12 rr4 sweep must not be slower than this report's single-worker rr4 rounds/s (implies running E12)")
+		mpMargin   = flag.Float64("mpmargin", 0.25, "noise margin for -mpbaseline (fraction)")
 		ovhJSON    = flag.String("overheadjson", "", "write the E15 tracer-overhead report to this path (implies running E15)")
 		churnJSON  = flag.String("churnjson", "", "write the E16 churn/fault-recovery report to this path (implies running E16)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this path")
@@ -115,7 +122,7 @@ func main() {
 		emit(r.id, r.f(cfg), t0)
 	}
 	// E12 runs once even when selected, exported as JSON and/or compared.
-	if len(want) == 0 || want["E12"] || *rtJSON != "" || *baseline != "" {
+	if len(want) == 0 || want["E12"] || *rtJSON != "" || *baseline != "" || *mpBaseline != "" {
 		t0 := time.Now()
 		rep := exp.RuntimeThroughput(cfg)
 		emit("E12", rep.Table(), t0)
@@ -136,6 +143,24 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "benchmark delta vs %s OK (tolerance -%.0f%%)\n", *baseline, *maxRegress*100)
+		}
+		if *mpBaseline != "" {
+			f, err := os.Open(*mpBaseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpbaseline: %v\n", err)
+				os.Exit(1)
+			}
+			base, err := exp.ReadRuntimeReport(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mpbaseline: %v\n", err)
+				os.Exit(1)
+			}
+			if err := exp.CompareMultiWorker(rep, base, *mpMargin); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "multi-worker gate vs %s OK (margin -%.0f%%)\n", *mpBaseline, *mpMargin*100)
 		}
 		writeReport(*rtJSON, "runtimejson", rep)
 	}

@@ -26,7 +26,7 @@ import (
 func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o RandOptions, lc *LayerColorer, acct *local.Accountant) (int, error) {
 	n := g.N()
 	lGraph := maskGraph(g, inL)
-	comp, count := lGraph.ConnectedComponents()
+	comp, count := componentsOf(lGraph)
 	byComp := make([][]int, count)
 	for v := 0; v < n; v++ {
 		if inL[v] {
@@ -136,6 +136,29 @@ func colorSmallComponents(g *graph.G, inL []bool, colors []int, delta int, o Ran
 	}
 	acct.Charge("small-anchors-color", 2*maxRad+1)
 	return deferred, nil
+}
+
+// smallComponentNetLimit caps the graph size for which component
+// discovery runs through the stepped network. The stepped collector costs
+// O(|component|) per-node memory (every member learns its component), so
+// it is reserved for the shattered-small regime the phase targets;
+// anything larger — or a component overrunning the collector's own cap —
+// falls back to the central traversal.
+const smallComponentNetLimit = 65536
+
+// componentsOf computes the connected components of the masked L-graph,
+// through the stepped engine by default (the message-passing form the
+// shattering analysis describes) with the central traversal as the
+// ablated and fallback path. Both number components in ascending order of
+// their minimum member, so the choice is observationally invisible; the
+// equivalence suite pins that.
+func componentsOf(lGraph *graph.G) ([]int, int) {
+	if local.SteppedGatherEnabled() && lGraph.N() <= smallComponentNetLimit {
+		if comp, count, ok := local.CollectComponents(local.NewNetwork(lGraph, 1)); ok {
+			return comp, count
+		}
+	}
+	return lGraph.ConnectedComponents()
 }
 
 // anchorGroup is one candidate anchor of a small component: a DCC (free ==

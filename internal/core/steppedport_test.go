@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"deltacolor/graph/gen"
+	"deltacolor/internal/dist"
+	"deltacolor/local"
+)
+
+// withSteppedGather runs f under the given package-wide gather default
+// and restores the previous one.
+func withSteppedGather(on bool, f func()) {
+	prev := local.SteppedGatherEnabled()
+	local.SetSteppedGather(on)
+	defer local.SetSteppedGather(prev)
+	f()
+}
+
+// TestRulingSetViaDecompositionSteppedMatchesCentral pins the ported
+// ruling-set probe: the per-class stepped flood must accept the exact
+// same centers, in the same order, as the original per-candidate central
+// BFS probe.
+func TestRulingSetViaDecompositionSteppedMatchesCentral(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name string
+		n, d int
+		seed int64
+	}{
+		{"rr4-128", 128, 4, 1},
+		{"rr3-256", 256, 3, 2},
+		{"rr6-96", 96, 6, 3},
+	}
+	for _, tc := range cases {
+		g := gen.MustRandomRegular(rng, tc.n, tc.d)
+		beta := 1.0 / math.Max(1, math.Log(float64(tc.n+2)))
+		dec := dist.Decompose(g, nil, beta, tc.seed)
+		for _, bigR := range []int{3, 9, 27} {
+			var stepped, central []int
+			withSteppedGather(true, func() { stepped = rulingSetViaDecomposition(g, dec, bigR) })
+			withSteppedGather(false, func() { central = rulingSetViaDecomposition(g, dec, bigR) })
+			if !reflect.DeepEqual(stepped, central) {
+				t.Fatalf("%s bigR=%d: stepped base %v, central %v", tc.name, bigR, stepped, central)
+			}
+		}
+	}
+}
+
+// TestComponentsOfMatchesCentral pins the ported component discovery on
+// masked L-graphs: identical labels and counts whichever engine runs,
+// including graphs where the mask isolates nodes.
+func TestComponentsOfMatchesCentral(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		g := gen.MustRandomRegular(rng, 200, 4)
+		inL := make([]bool, g.N())
+		for v := range inL {
+			inL[v] = rng.Float64() < 0.35
+		}
+		lGraph := maskGraph(g, inL)
+		wantComp, wantCount := lGraph.ConnectedComponents()
+		var comp []int
+		var count int
+		withSteppedGather(true, func() { comp, count = componentsOf(lGraph) })
+		if count != wantCount || !reflect.DeepEqual(comp, wantComp) {
+			t.Fatalf("trial %d: stepped components diverge (count %d vs %d)", trial, count, wantCount)
+		}
+		withSteppedGather(false, func() { comp, count = componentsOf(lGraph) })
+		if count != wantCount || !reflect.DeepEqual(comp, wantComp) {
+			t.Fatalf("trial %d: ablated componentsOf diverges from central", trial)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"runtime"
 
+	"deltacolor/graph"
 	"deltacolor/local"
 )
 
@@ -84,20 +85,43 @@ func TracerOverhead(cfg Config) *OverheadReport {
 	var cases []c
 	rounds := 16
 	sizes := []int{10_000, 100_000, 1_000_000}
+	gatherSizes := []int{10_000, 100_000}
 	if cfg.Quick {
 		sizes = []int{10_000, 100_000}
+		gatherSizes = []int{10_000}
 	}
 	for _, n := range sizes {
 		cases = append(cases, c{"path", n}, c{"rr4", n}, c{"grid", n})
 	}
+	// The gate also covers the new gather kernel: the tracer sits in the
+	// same engine loop whether the payloads are int heartbeats or boxed
+	// ball frontiers, and the boxed lane must meet the same 10% budget.
+	// Smaller sizes than the heartbeat families: one (case, level) cell is
+	// overheadReps whole gathers, and the comparison is percent-scale
+	// either way.
+	for _, n := range gatherSizes {
+		cases = append(cases, c{"rr4-gather", n})
+	}
 	for _, tc := range cases {
-		g := localityCase(tc.family, tc.n, cfg.Seed)
+		var g *graph.G
+		if tc.family == "rr4-gather" {
+			g = runtimeCase(tc.family, tc.n, cfg.Seed)
+		} else {
+			g = localityCase(tc.family, tc.n, cfg.Seed)
+		}
+		workload := func(net *local.Network) {
+			if tc.family == "rr4-gather" {
+				local.GatherStepped(net, runtimeGatherRadius)
+			} else {
+				local.RunStepped(net, heartbeat(rounds))
+			}
+		}
 		net := local.NewNetwork(g, cfg.Seed)
 		net.SetWorkers(1)
 		// Warm-up run: the first run on a fresh network pays cold page
 		// faults and branch-predictor training that would all be billed to
 		// whichever level happens to run first.
-		local.RunStepped(net, heartbeat(rounds))
+		workload(net)
 		tracers := make([]*local.Tracer, len(overheadLevels))
 		best := make([]float64, len(overheadLevels))
 		var st local.RunStats
@@ -109,7 +133,7 @@ func TracerOverhead(cfg Config) *OverheadReport {
 		for r := 0; r < overheadReps; r++ {
 			for li := range overheadLevels {
 				net.SetTracer(tracers[li])
-				local.RunStepped(net, heartbeat(rounds))
+				workload(net)
 				if s := net.LastRunStats(); s.RoundsPerSec > best[li] {
 					best[li] = s.RoundsPerSec
 					st = s
@@ -139,7 +163,7 @@ func TracerOverhead(cfg Config) *OverheadReport {
 func (rep *OverheadReport) Table() *Table {
 	t := &Table{
 		ID:     "E15",
-		Title:  "Tracer overhead (E12 heartbeat workload: tracing off vs counters-only vs full)",
+		Title:  "Tracer overhead (heartbeat and stepped-gather workloads: tracing off vs counters-only vs full)",
 		Header: []string{"family", "n", "edges", "level", "rounds/s", "overhead"},
 	}
 	for _, r := range rep.Rows {

@@ -75,9 +75,19 @@ func TestTracerOverheadSmoke(t *testing.T) {
 	if rep.Schema != OverheadSchema || !rep.Quick {
 		t.Fatalf("report header: %+v", rep)
 	}
-	// Quick mode: 2 sizes x 3 families x 3 levels.
-	if len(rep.Rows) != 18 {
-		t.Fatalf("rows = %d, want 18", len(rep.Rows))
+	// Quick mode: 2 sizes x 3 heartbeat families x 3 levels, plus the
+	// single-size rr4-gather case x 3 levels.
+	if len(rep.Rows) != 21 {
+		t.Fatalf("rows = %d, want 21", len(rep.Rows))
+	}
+	sawGather := false
+	for _, r := range rep.Rows {
+		if r.Family == "rr4-gather" {
+			sawGather = true
+		}
+	}
+	if !sawGather {
+		t.Fatal("report carries no rr4-gather rows; the gate would not cover the gather kernel")
 	}
 	for _, r := range rep.Rows {
 		if r.RoundsPerSec <= 0 {

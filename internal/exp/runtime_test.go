@@ -43,6 +43,42 @@ func TestCompareRuntime(t *testing.T) {
 	}
 }
 
+func TestCompareMultiWorker(t *testing.T) {
+	mpRow := func(n int, rps, rpsMP float64) RuntimeRow {
+		r := runtimeRow("rr4", n, rps)
+		r.RoundsPerSecMP = rpsMP
+		r.WorkersMP = 4
+		return r
+	}
+	base := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		runtimeRow("rr4", 1000, 200),
+		runtimeRow("rr4", 10000, 100),
+		runtimeRow("path", 10000, 500), // other families are not gated
+	}}
+
+	ok := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		mpRow(1000, 190, 10), // small-n coordination overhead is not gated
+		mpRow(10000, 95, 90), // within the 25% margin of base's 100
+	}}
+	if err := CompareMultiWorker(ok, base, 0.25); err != nil {
+		t.Fatalf("within margin, got %v", err)
+	}
+
+	bad := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		mpRow(10000, 95, 60), // -40% vs base's single-worker 100
+	}}
+	if err := CompareMultiWorker(bad, base, 0.25); err == nil {
+		t.Fatal("multi-worker 40% slower than single-worker baseline must fail")
+	}
+
+	noSweep := &RuntimeReport{Schema: RuntimeSchema, Rows: []RuntimeRow{
+		runtimeRow("rr4", 10000, 95), // RoundsPerSecMP == 0
+	}}
+	if err := CompareMultiWorker(noSweep, base, 0.25); err == nil {
+		t.Fatal("report without a populated sweep must fail, not pass vacuously")
+	}
+}
+
 // TestCompareRuntimeRefNormalized checks the machine-independence of the
 // v3 gate: when both reports carry a reference-loop score, the comparison
 // is on rounds/s ÷ RefScore, so a baseline from a 2× faster machine does

@@ -2,10 +2,12 @@ package gallai
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"deltacolor/graph"
 	"deltacolor/graph/gen"
+	"deltacolor/local"
 )
 
 // TestSelectDCCsDistributedAgreesWithCentral: the message-passing form
@@ -54,6 +56,47 @@ func TestSelectDCCsDistributedAgreesWithCentral(t *testing.T) {
 			_ = cd
 			if rounds <= 0 && len(dd) > 0 {
 				t.Fatalf("distributed run charged %d rounds", rounds)
+			}
+		})
+	}
+}
+
+// TestSelectDCCsDistributedSteppedMatchesBlocking is the byte-identity
+// pin for the engine port: the stepped flat-ball path and the blocking
+// coroutine shim must return the exact same DCC sets, owner array and
+// round count — not merely owner-existence agreement. The reconstructed
+// per-node subgraphs are identical (sorted-ID edge insertion either way),
+// so FindDCC's tie-breaking cannot diverge.
+func TestSelectDCCsDistributedSteppedMatchesBlocking(t *testing.T) {
+	prev := local.SteppedGatherEnabled()
+	defer local.SetSteppedGather(prev)
+
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		g    *graph.G
+		r    int
+	}{
+		{"torus 6x6", gen.Torus(6, 6), 2},
+		{"hypercube d=3", gen.Hypercube(3), 2},
+		{"random 4-regular", gen.MustRandomRegular(rng, 64, 4), 2},
+		{"petersen", gen.Petersen(), 3},
+		{"random tree", gen.RandomTree(rng, 48), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			local.SetSteppedGather(true)
+			sd, sOwner, sRounds := SelectDCCsDistributed(tc.g, tc.r)
+			local.SetSteppedGather(false)
+			bd, bOwner, bRounds := SelectDCCsDistributed(tc.g, tc.r)
+			if sRounds != bRounds {
+				t.Fatalf("rounds: stepped %d, blocking %d", sRounds, bRounds)
+			}
+			if !reflect.DeepEqual(sd, bd) {
+				t.Fatalf("DCC sets diverge:\nstepped  %v\nblocking %v", sd, bd)
+			}
+			if !reflect.DeepEqual(sOwner, bOwner) {
+				t.Fatalf("owners diverge:\nstepped  %v\nblocking %v", sOwner, bOwner)
 			}
 		})
 	}

@@ -3,15 +3,33 @@ package local
 import (
 	"sort"
 	"testing"
+
+	"deltacolor/graph"
 )
 
 // TestGatherBallMatchesBFS is the ground-truth property test for the
-// flooding primitive under the sharded scheduler: on random graphs, the
-// ball gathered in t rounds must contain exactly the nodes at BFS distance
-// <= t, with complete adjacency for every node at distance <= t-1 (their
-// adjacency had t-1 rounds to travel) and only the bare self-report (nil
-// adjacency) for nodes at distance exactly t.
+// flooding primitive: on random graphs, the ball gathered in t rounds
+// must contain exactly the nodes at BFS distance <= t, with complete
+// adjacency for every node at distance <= t-1 (their adjacency had t-1
+// rounds to travel) and only the bare self-report (nil adjacency) for
+// nodes at distance exactly t. Both implementations are pinned against
+// the same ground truth: the blocking coroutine GatherBall (the
+// compatibility shim's reference) and the native stepped gather.
 func TestGatherBallMatchesBFS(t *testing.T) {
+	impls := []struct {
+		name    string
+		collect func(net *Network, radius int) []*BallInfo
+	}{
+		{"blocking", gatherBallsBlocking},
+		{"stepped", func(net *Network, radius int) []*BallInfo {
+			flat := GatherStepped(net, radius)
+			balls := make([]*BallInfo, len(flat))
+			for v, b := range flat {
+				balls[v] = b.Info()
+			}
+			return balls
+		}},
+	}
 	cases := []struct {
 		n    int
 		p    float64
@@ -22,54 +40,62 @@ func TestGatherBallMatchesBFS(t *testing.T) {
 		{50, 0.15, 3},
 		{30, 0.5, 4},
 	}
-	for _, tc := range cases {
-		g := randomGraph(tc.n, tc.p, tc.seed)
-		for _, radius := range []int{1, 2, 3} {
-			net := NewNetwork(g, tc.seed)
-			net.setShards(4)
-			outs := net.Run(func(ctx *Ctx) {
-				ctx.SetOutput(GatherBall(ctx, radius))
-			})
-			if net.Rounds() != radius {
-				t.Fatalf("n=%d p=%v t=%d: rounds=%d", tc.n, tc.p, radius, net.Rounds())
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			for _, tc := range cases {
+				g := randomGraph(tc.n, tc.p, tc.seed)
+				for _, radius := range []int{1, 2, 3} {
+					net := NewNetwork(g, tc.seed)
+					net.setShards(4)
+					balls := impl.collect(net, radius)
+					if net.Rounds() != radius {
+						t.Fatalf("n=%d p=%v t=%d: rounds=%d", tc.n, tc.p, radius, net.Rounds())
+					}
+					for v := 0; v < g.N(); v++ {
+						assertBallMatchesBFS(t, g, v, radius, balls[v])
+					}
+				}
 			}
-			for v := 0; v < g.N(); v++ {
-				ball := outs[v].(*BallInfo)
-				bfs := g.BFSLimited(v, radius)
-				want := map[int]bool{}
-				for _, u := range bfs.Order {
-					want[u] = true
+		})
+	}
+}
+
+func assertBallMatchesBFS(t *testing.T, g *graph.G, v, radius int, ball *BallInfo) {
+	t.Helper()
+	bfs := g.BFSLimited(v, radius)
+	want := map[int]bool{}
+	for _, u := range bfs.Order {
+		want[u] = true
+	}
+	if ball.Center != v || ball.Radius != radius {
+		t.Fatalf("ball center/radius = %d/%d, want %d/%d", ball.Center, ball.Radius, v, radius)
+	}
+	if len(ball.Adj) != len(want) {
+		t.Fatalf("t=%d center=%d: knows %d nodes, BFS ball has %d", radius, v, len(ball.Adj), len(want))
+	}
+	for u, adj := range ball.Adj {
+		if !want[u] {
+			t.Fatalf("center %d learned %d outside its %d-ball", v, u, radius)
+		}
+		switch {
+		case bfs.Dist[u] < radius:
+			got := append([]int(nil), adj...)
+			exp := append([]int(nil), g.Neighbors(u)...)
+			sort.Ints(got)
+			sort.Ints(exp)
+			if len(got) != len(exp) {
+				t.Fatalf("center %d: adjacency of %d (dist %d) has %d entries, want %d",
+					v, u, bfs.Dist[u], len(got), len(exp))
+			}
+			for i := range got {
+				if got[i] != exp[i] {
+					t.Fatalf("center %d: adjacency of %d = %v, want %v", v, u, got, exp)
 				}
-				if len(ball.Adj) != len(want) {
-					t.Fatalf("n=%d p=%v t=%d center=%d: knows %d nodes, BFS ball has %d",
-						tc.n, tc.p, radius, v, len(ball.Adj), len(want))
-				}
-				for u, adj := range ball.Adj {
-					if !want[u] {
-						t.Fatalf("center %d learned %d outside its %d-ball", v, u, radius)
-					}
-					switch {
-					case bfs.Dist[u] < radius:
-						got := append([]int(nil), adj...)
-						exp := append([]int(nil), g.Neighbors(u)...)
-						sort.Ints(got)
-						sort.Ints(exp)
-						if len(got) != len(exp) {
-							t.Fatalf("center %d: adjacency of %d (dist %d) has %d entries, want %d",
-								v, u, bfs.Dist[u], len(got), len(exp))
-						}
-						for i := range got {
-							if got[i] != exp[i] {
-								t.Fatalf("center %d: adjacency of %d = %v, want %v", v, u, got, exp)
-							}
-						}
-					default: // dist == radius: only the self-report made it
-						if adj != nil {
-							t.Fatalf("center %d: node %d at distance %d should have nil adjacency, got %v",
-								v, u, radius, adj)
-						}
-					}
-				}
+			}
+		default: // dist == radius: only the self-report made it
+			if adj != nil {
+				t.Fatalf("center %d: node %d at distance %d should have nil adjacency, got %v",
+					v, u, radius, adj)
 			}
 		}
 	}

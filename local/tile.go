@@ -1,0 +1,264 @@
+package local
+
+// Tiled delivery: an alternative delivery kernel that batches message
+// writes by receiver-slot range. Plain deliverBatch walks each sender's
+// ports and writes every receiver slot as it comes — on expander-like
+// graphs (rr4) the receiver slots of one sender are scattered across the
+// whole lane array, and no node relabeling can fix that (an expander has
+// no low-bandwidth order; see ROADMAP "expander gap"). The tiled kernel
+// first bins each surviving message into a fixed receiver-slot tile
+// (counting sort, two sequential passes over the sender's ports), then
+// flushes tile by tile, so the scattered writes land inside one
+// cache-resident window at a time.
+//
+// Semantics are bit-identical to deliverBatch: the same halt checks, dead
+// -send records, tracer counters and receiver flags, in an order the
+// engine never observes (each (receiver, port) slot has a unique sender,
+// and flag stores are idempotent). SetTiledDelivery is the ablation hook;
+// the equivalence tests pin identity against the plain kernel.
+
+// tileShift fixes the tile span at 2^tileShift receiver slots: 32k slots
+// = 128 KiB of int32 payload plus presence bytes, sized to stay inside a
+// typical L2 while keeping the per-batch counting arrays tiny.
+const tileShift = 15
+
+// SetTiledDelivery toggles the tiled delivery kernel for subsequent runs
+// on this network (off by default). Tiling is a memory-access-order
+// detail with no observable effect on outputs, rounds or stats; it
+// trades O(edges-per-batch) staging memory for receiver-side write
+// locality on families with no exploitable labeling order. Fault
+// injection uses its own delivery kernel, so an attached FaultPlan
+// bypasses tiling.
+func (net *Network) SetTiledDelivery(on bool) { net.tiledOn = on }
+
+// TiledDelivery reports whether the tiled kernel is enabled.
+func (net *Network) TiledDelivery() bool { return net.tiledOn }
+
+// setupTiles sizes the per-batch tile staging: entry arrays capacity is
+// the batch's directed-edge count (every port can stage at most one
+// message per round, on exactly one lane), counts has one bucket per tile
+// plus the running cursor row.
+func (net *Network) setupTiles(bs int) {
+	n := net.g.N()
+	net.tileCount = (net.off[n] >> tileShift) + 1
+	for i := range net.batches {
+		b := &net.batches[i]
+		lo := i * bs
+		hi := min(lo+bs, n)
+		ecap := net.off[hi] - net.off[lo]
+		b.entSlot = make([]int32, ecap)
+		b.entU = make([]int32, ecap)
+		b.entVal = make([]int32, ecap)
+		b.entMsg = make([]Message, ecap)
+		b.tileCnt = make([]int32, net.tileCount+1)
+	}
+}
+
+// deliverBatchTiled is the tiled twin of deliverBatch. Each lane runs
+// three sequential passes over the batch's senders: count survivors per
+// tile, place them at the tile cursors (handling drops, dead-send records
+// and tracer counters exactly like the plain kernel), then flush tile by
+// tile. The halt predicate is stable for the whole delivery phase, so
+// evaluating it in both the count and place passes is sound.
+//
+//deltacolor:hotpath
+//deltacolor:coordinator
+func (net *Network) deliverBatchTiled(b *batch) {
+	checkHalt := !net.noHalts
+	count := net.countMsgs
+	sf := net.slotFlat
+
+	// Int lane.
+	ne := int32(0)
+	cnt := b.tileCnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, id := range b.senders {
+		c := &net.ctxs[id]
+		if c.nInts == 0 {
+			continue
+		}
+		base := net.off[id]
+		for p, h := range c.outHas {
+			if h == 0 {
+				continue
+			}
+			u := net.portsFlat[base+p]
+			if checkHalt && net.haltSeg[u] != 0 {
+				continue
+			}
+			var slot int32
+			if sf != nil {
+				slot = sf[base+p]
+			} else {
+				slot = int32(net.off[u]) + net.revFlat[base+p]
+			}
+			cnt[1+(slot>>tileShift)]++
+			ne++
+		}
+	}
+	if ne > 0 {
+		for t := 1; t <= net.tileCount; t++ {
+			cnt[t] += cnt[t-1]
+		}
+		for _, id := range b.senders {
+			c := &net.ctxs[id]
+			if c.nInts == 0 {
+				continue
+			}
+			if count {
+				b.trInts += c.nInts
+			}
+			base := net.off[id]
+			oh := c.outHas
+			for p, h := range oh {
+				if h == 0 {
+					continue
+				}
+				oh[p] = 0
+				u := net.portsFlat[base+p]
+				if checkHalt && net.haltSeg[u] != 0 {
+					if count {
+						b.trDrops++
+					}
+					if net.trackDead {
+						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: net.toExt(int(u)), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
+					}
+					continue
+				}
+				var slot int32
+				if sf != nil {
+					slot = sf[base+p]
+				} else {
+					slot = int32(net.off[u]) + net.revFlat[base+p]
+				}
+				j := cnt[slot>>tileShift]
+				cnt[slot>>tileShift] = j + 1
+				b.entSlot[j] = slot
+				b.entU[j] = u
+				b.entVal[j] = c.outInt[p]
+			}
+			c.nInts = 0
+		}
+		for j := int32(0); j < ne; j++ {
+			slot := b.entSlot[j]
+			net.inInt[slot] = b.entVal[j]
+			net.inHas[slot] = 1
+			u := b.entU[j]
+			if !net.recvInt[u].Load() {
+				net.recvInt[u].Store(true)
+			}
+		}
+	} else {
+		// Every staged int message was dropped (or none staged): still run
+		// the drop bookkeeping and lane clears the place pass would have.
+		for _, id := range b.senders {
+			c := &net.ctxs[id]
+			if c.nInts == 0 {
+				continue
+			}
+			if count {
+				b.trInts += c.nInts
+			}
+			base := net.off[id]
+			oh := c.outHas
+			for p, h := range oh {
+				if h == 0 {
+					continue
+				}
+				oh[p] = 0
+				if count {
+					b.trDrops++
+				}
+				if net.trackDead {
+					u := net.portsFlat[base+p]
+					b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: net.toExt(int(u)), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
+				}
+			}
+			c.nInts = 0
+		}
+	}
+
+	// Boxed lane: same three passes, payloads through entMsg.
+	ne = 0
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, id := range b.senders {
+		c := &net.ctxs[id]
+		if c.nBoxed == 0 {
+			continue
+		}
+		base := net.off[id]
+		for p, msg := range c.out {
+			if msg == nil {
+				continue
+			}
+			u := net.portsFlat[base+p]
+			if checkHalt && net.haltSeg[u] != 0 {
+				continue
+			}
+			var slot int32
+			if sf != nil {
+				slot = sf[base+p]
+			} else {
+				slot = int32(net.off[u]) + net.revFlat[base+p]
+			}
+			cnt[1+(slot>>tileShift)]++
+			ne++
+		}
+	}
+	for t := 1; t <= net.tileCount; t++ {
+		cnt[t] += cnt[t-1]
+	}
+	for _, id := range b.senders {
+		c := &net.ctxs[id]
+		if c.nBoxed > 0 {
+			if count {
+				b.trBoxed += c.nBoxed
+			}
+			base := net.off[id]
+			out := c.out
+			for p, msg := range out {
+				if msg == nil {
+					continue
+				}
+				out[p] = nil
+				u := net.portsFlat[base+p]
+				if checkHalt && net.haltSeg[u] != 0 {
+					if count {
+						b.trDrops++
+					}
+					if net.trackDead {
+						b.dead = append(b.dead, DeadSend{From: c.id, Port: p, To: net.toExt(int(u)), Round: net.rounds + 1, HaltRound: int(net.haltSeg[u])})
+					}
+					continue
+				}
+				var slot int32
+				if sf != nil {
+					slot = sf[base+p]
+				} else {
+					slot = int32(net.off[u]) + net.revFlat[base+p]
+				}
+				j := cnt[slot>>tileShift]
+				cnt[slot>>tileShift] = j + 1
+				b.entSlot[j] = slot
+				b.entU[j] = u
+				b.entMsg[j] = msg
+			}
+			c.nBoxed = 0
+		}
+		c.sentAny = false
+	}
+	for j := int32(0); j < ne; j++ {
+		slot := b.entSlot[j]
+		net.inBoxed[slot] = b.entMsg[j]
+		b.entMsg[j] = nil
+		u := b.entU[j]
+		if !net.recvAny[u].Load() {
+			net.recvAny[u].Store(true)
+		}
+	}
+	b.senders = b.senders[:0]
+}

@@ -1,0 +1,145 @@
+package local
+
+import (
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"deltacolor/graph"
+)
+
+// captureTiled is captureRun with an explicit tiled-delivery setting and
+// an optional forced batch size (0 keeps the default).
+func captureTiled(g *graph.G, seed int64, tiled bool, batch int, f NodeFunc) runOutcome {
+	net := NewNetwork(g, seed)
+	net.SetTiledDelivery(tiled)
+	if batch > 0 {
+		net.setBatch(batch)
+	}
+	net.TrackDeadSends(true)
+	net.EnableMessageStats()
+	outs := net.Run(f)
+	return runOutcome{
+		outs:   outs,
+		rounds: net.Rounds(),
+		dead:   net.DeadSends(),
+		late:   net.LateDeadSends(),
+		stats:  *net.MessageStats(),
+	}
+}
+
+// tileMixedProto exercises both delivery lanes with irregular halting:
+// even rounds ride the int fast path, odd rounds ship boxed payloads, and
+// nodes halt at staggered rounds so the tiled kernel's drop bookkeeping
+// and dead-send records are on the line, not just the happy path.
+func tileMixedProto(ctx *Ctx) {
+	sum := ctx.Rand().Intn(1000)
+	rounds := 2 + ctx.ID()%4
+	for i := 0; i < rounds; i++ {
+		if i%2 == 0 {
+			ctx.BroadcastInt(sum)
+		} else {
+			ctx.Broadcast([2]int{ctx.ID(), sum})
+		}
+		ctx.Next()
+		for p := 0; p < ctx.Degree(); p++ {
+			switch m := ctx.Recv(p).(type) {
+			case int:
+				sum += m
+			case [2]int:
+				sum += m[1]
+			}
+		}
+	}
+	ctx.SetOutput(sum)
+}
+
+// TestTiledDeliveryInvariance pins the tiled kernel byte-identical to the
+// plain one on every observable surface — outputs, rounds, dead-send
+// records (including lateness classification) and message stats — across
+// batch sizes that force multi-batch delivery, and under relabeling both
+// on and off.
+func TestTiledDeliveryInvariance(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := scrambledGraph(150, seed)
+		for _, relabel := range []bool{true, false} {
+			for _, batch := range []int{0, 7, 64} {
+				var plain, tiled runOutcome
+				withRelabel(relabel, func() {
+					plain = captureTiled(g, seed, false, batch, tileMixedProto)
+					tiled = captureTiled(g, seed, true, batch, tileMixedProto)
+				})
+				if !reflect.DeepEqual(plain, tiled) {
+					t.Fatalf("seed %d relabel=%v batch=%d: tiled delivery diverges:\nplain %+v\ntiled %+v",
+						seed, relabel, batch, plain, tiled)
+				}
+				if len(plain.dead) == 0 {
+					t.Fatalf("seed %d: protocol staged no dead sends; drop path untested", seed)
+				}
+			}
+		}
+	}
+}
+
+// TestTiledDeliveryStepped runs the stepped gather and component kernels
+// under tiled delivery: flat balls and component labels must match the
+// plain-delivery runs exactly.
+func TestTiledDeliveryStepped(t *testing.T) {
+	g := scrambledGraph(90, 4)
+
+	plainNet := NewNetwork(g, 1)
+	plainBalls := GatherStepped(plainNet, 3)
+	tiledNet := NewNetwork(g, 1)
+	tiledNet.SetTiledDelivery(true)
+	tiledBalls := GatherStepped(tiledNet, 3)
+	if plainNet.Rounds() != tiledNet.Rounds() {
+		t.Fatalf("gather rounds: plain %d, tiled %d", plainNet.Rounds(), tiledNet.Rounds())
+	}
+	if !reflect.DeepEqual(plainBalls, tiledBalls) {
+		t.Fatal("tiled gather balls differ from plain delivery")
+	}
+
+	sparse := randomGraph(120, 0.015, 12)
+	pn := NewNetwork(sparse, 1)
+	pComp, pCount, pOK := CollectComponents(pn)
+	tn := NewNetwork(sparse, 1)
+	tn.SetTiledDelivery(true)
+	tComp, tCount, tOK := CollectComponents(tn)
+	if pOK != tOK || pCount != tCount || !reflect.DeepEqual(pComp, tComp) {
+		t.Fatal("tiled component collection differs from plain delivery")
+	}
+}
+
+// TestTiledDeliveryToggleReadback pins the hook surface.
+func TestTiledDeliveryToggleReadback(t *testing.T) {
+	net := NewNetwork(pathGraph(4), 1)
+	if net.TiledDelivery() {
+		t.Fatal("tiled delivery must default off")
+	}
+	net.SetTiledDelivery(true)
+	if !net.TiledDelivery() {
+		t.Fatal("SetTiledDelivery(true) not readable")
+	}
+}
+
+// TestTiledIntZeroAllocsPerRound: the tile staging arrays are sized once
+// at setup, so tiled delivery of int-lane protocols must stay
+// allocation-free per round like the plain kernel.
+func TestTiledIntZeroAllocsPerRound(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g := cycleGraph(512)
+	src := make([]bool, 512)
+	src[0] = true
+	measure := func(radius int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			net := NewNetwork(g, 1)
+			net.SetTiledDelivery(true)
+			FloodStepped(net, src, radius)
+		})
+	}
+	short, long := measure(5), measure(105)
+	perRound := (long - short) / 100
+	if perRound > 0.05 {
+		t.Fatalf("tiled int delivery allocates %.2f allocs/round (short=%.0f long=%.0f), want 0", perRound, short, long)
+	}
+}

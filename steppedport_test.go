@@ -1,0 +1,70 @@
+package deltacolor_test
+
+// Full-pipeline equivalence for the stepped ball-collection ports: every
+// algorithm must produce byte-identical colors, rounds, repairs and phase
+// breakdowns with the native stepped gather enabled (the default) and
+// with the blocking coroutine shim (SetSteppedGather(false)). Together
+// with TestColorDeterminismGoldens — which runs under the default — this
+// proves the port changed the engine, not the algorithms: the goldens pin
+// the stepped path to the pre-port captures, and this suite pins the shim
+// to the stepped path.
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacolor"
+	"deltacolor/graph/gen"
+	"deltacolor/local"
+)
+
+func TestSteppedGatherPortPipelineEquivalence(t *testing.T) {
+	prev := local.SteppedGatherEnabled()
+	defer local.SetSteppedGather(prev)
+
+	cases := []struct {
+		name string
+		n, d int
+		alg  deltacolor.Algorithm
+		seed int64
+		slow bool
+	}{
+		{name: "rand-n512-d4-s1", n: 512, d: 4, alg: deltacolor.AlgRandomized, seed: 1},
+		{name: "rand-n512-d8-s2", n: 512, d: 8, alg: deltacolor.AlgRandomized, seed: 2},
+		{name: "det-n256-d4-s3", n: 256, d: 4, alg: deltacolor.AlgDeterministic, seed: 3, slow: true},
+		{name: "netdec-n256-d4-s4", n: 256, d: 4, alg: deltacolor.AlgNetDec, seed: 4, slow: true},
+		{name: "baseline-n256-d4-s5", n: 256, d: 4, alg: deltacolor.AlgBaseline, seed: 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("slow equivalence case skipped in -short")
+			}
+			g := gen.MustRandomRegular(rand.New(rand.NewSource(tc.seed)), tc.n, tc.d)
+
+			local.SetSteppedGather(true)
+			stepped, err := deltacolor.Color(g, deltacolor.Options{Algorithm: tc.alg, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			local.SetSteppedGather(false)
+			blocking, err := deltacolor.Color(g, deltacolor.Options{Algorithm: tc.alg, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := hashColors(stepped.Colors), hashColors(blocking.Colors); got != want {
+				t.Errorf("colors hash: stepped %#x, blocking %#x", got, want)
+			}
+			if stepped.Rounds != blocking.Rounds {
+				t.Errorf("rounds: stepped %d, blocking %d", stepped.Rounds, blocking.Rounds)
+			}
+			if stepped.Repairs != blocking.Repairs {
+				t.Errorf("repairs: stepped %d, blocking %d", stepped.Repairs, blocking.Repairs)
+			}
+			if got, want := phaseString(stepped.Phases), phaseString(blocking.Phases); got != want {
+				t.Errorf("phases: stepped %q, blocking %q", got, want)
+			}
+		})
+	}
+}
